@@ -1,0 +1,146 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation into a results directory: a CSV per figure, an ASCII
+// rendering, and markdown for the tables.
+//
+//	figures -out results            # quick scale (≤16 nodes)
+//	figures -out results -full      # the paper's axes (≤256 nodes)
+//	figures -only fig9a,fig13       # subset
+//
+// Single-node Figures 6/7/8 are measured on this host's real runtime
+// backends; multi-node figures come from the cluster simulator (see
+// DESIGN.md for the substitution rationale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"taskbench/internal/harness"
+	_ "taskbench/internal/runtime/all"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "results", "output directory")
+		full = flag.Bool("full", false, "use the paper's full axes (256 nodes; slower)")
+		only = flag.String("only", "", "comma-separated subset of experiment IDs")
+	)
+	flag.Parse()
+
+	scale := harness.Quick()
+	if *full {
+		scale = harness.Full()
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	// Tables.
+	for id, gen := range map[string]func() string{
+		"table1": harness.Table1,
+		"table2": harness.Table2,
+		"table3": harness.Table3,
+		"table4": harness.Table4,
+	} {
+		if !selected(id) {
+			continue
+		}
+		path := filepath.Join(*out, id+".md")
+		if err := os.WriteFile(path, []byte(gen()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	real := harness.DefaultRealConfig()
+	type job struct {
+		id  string
+		gen func() (*harness.Figure, error)
+	}
+	jobs := []job{
+		{"fig4", wrap(func() *harness.Figure { return harness.Fig4WeakScaling(scale) })},
+		{"fig5", wrap(func() *harness.Figure { return harness.Fig5StrongScaling(scale) })},
+		{"fig6", func() (*harness.Figure, error) { return harness.Fig6FlopsVsProblemSize(real) }},
+		{"fig7", func() (*harness.Figure, error) { return harness.Fig7EfficiencyCurve(real) }},
+		{"fig8", func() (*harness.Figure, error) { return harness.Fig8MemoryBandwidth(real) }},
+		{"fig10", wrap(func() *harness.Figure { return harness.Fig10METGvsDeps(scale) })},
+		{"fig12", wrap(func() *harness.Figure { return harness.Fig12LoadImbalance(scale) })},
+		{"fig12p", wrap(func() *harness.Figure { return harness.Fig12Persistent(scale) })},
+		{"fig13", wrap(func() *harness.Figure { return harness.Fig13GPU(scale) })},
+	}
+	for _, v := range harness.Fig9Variants(scale) {
+		v := v
+		jobs = append(jobs, job{"fig9" + v.Suffix, wrap(func() *harness.Figure {
+			return harness.Fig9METGvsNodes(v, scale)
+		})})
+	}
+	for i, bytes := range []int{16, 256, 4096, 65536} {
+		bytes := bytes
+		panel := string(rune('a' + i))
+		jobs = append(jobs, job{"fig11" + panel, wrap(func() *harness.Figure {
+			return harness.Fig11CommunicationHiding(bytes, scale, panel)
+		})})
+	}
+
+	for _, j := range jobs {
+		if !selected(j.id) {
+			continue
+		}
+		start := time.Now()
+		fig, err := j.gen()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", j.id, err))
+		}
+		if err := fig.SaveCSV(*out); err != nil {
+			fatal(err)
+		}
+		txt, err := os.Create(filepath.Join(*out, fig.ID+".txt"))
+		if err != nil {
+			fatal(err)
+		}
+		fig.Render(txt, 72, 20)
+		txt.Close()
+		fmt.Printf("wrote %s (%d series, %v)\n",
+			filepath.Join(*out, fig.ID+".csv"), len(fig.Series), time.Since(start).Round(time.Millisecond))
+	}
+
+	// Host-scale real METG table (the 1-node column of Figure 9a
+	// measured for real on the goroutine backends).
+	if selected("realmetg") {
+		rows, err := harness.RealMETG(real)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, "realmetg.md")
+		if err := os.WriteFile(path, []byte(harness.RealMETGTable(rows)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	if err := harness.WriteReport(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", filepath.Join(*out, "REPORT.md"))
+}
+
+func wrap(f func() *harness.Figure) func() (*harness.Figure, error) {
+	return func() (*harness.Figure, error) { return f(), nil }
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command graph inspects a Task Bench task graph without running it:
+// it prints the structural profile (tasks, edges, critical path,
+// parallelism bounds) and can render the graph as Graphviz DOT.
+//
+//	graph -steps 8 -width 8 -type fft
+//	graph -steps 6 -width 8 -type tree -dot > tree.dot
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"taskbench/internal/core"
+	"taskbench/internal/dot"
+	"taskbench/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "graph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	emitDot := false
+	var rest []string
+	for _, a := range args {
+		if a == "-dot" {
+			emitDot = true
+			continue
+		}
+		rest = append(rest, a)
+	}
+	app, err := core.ParseArgs(rest)
+	if err != nil {
+		return err
+	}
+
+	if emitDot {
+		for _, g := range app.Graphs {
+			if err := dot.Write(os.Stdout, g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, g := range app.Graphs {
+		p := trace.Profile(g)
+		fmt.Printf("graph %d: %s %d×%d\n", g.GraphID, g.Dependence, g.Timesteps, g.MaxWidth)
+		fmt.Printf("  tasks              %d\n", p.Tasks)
+		fmt.Printf("  dependence edges   %d\n", p.Edges)
+		fmt.Printf("  critical path      %d tasks\n", p.CriticalPathLength)
+		fmt.Printf("  max width          %d\n", p.MaxWidth)
+		fmt.Printf("  avg degree         %.2f deps/task\n", p.AvgDegree)
+		fmt.Printf("  payload per step   %d B\n", p.BytesPerStep)
+	}
+	b := trace.AppBounds(app, time.Millisecond, app.Workers)
+	fmt.Printf("bounds at 1ms/task, %d workers: work %v, span %v, lower %v, max speedup %.1fx\n",
+		max(app.Workers, 1), b.Work, b.Span, b.Lower, b.MaxSpeedup)
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command metg measures minimum effective task granularity (paper §4)
+// either for a real runtime backend on this host or for a simulated
+// system profile on a simulated cluster:
+//
+//	metg -backend p2p                         # real, this host
+//	metg -profile "mpi p2p" -nodes 64         # simulated Cori
+//
+// It prints the efficiency-vs-granularity curve (the data behind
+// Figures 3 and 7) followed by the METG(50%) value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/metg"
+	"taskbench/internal/runtime"
+	_ "taskbench/internal/runtime/all"
+	"taskbench/internal/sim"
+)
+
+func main() {
+	var (
+		backend   = flag.String("backend", "", "real runtime backend to measure")
+		profile   = flag.String("profile", "", "simulator profile to measure (e.g. \"mpi p2p\")")
+		nodes     = flag.Int("nodes", 1, "simulated node count (with -profile)")
+		steps     = flag.Int("steps", 20, "graph height")
+		width     = flag.Int("width", 0, "graph width (0 = one column per worker / core)")
+		pattern   = flag.String("type", "stencil_1d", "dependence pattern")
+		radix     = flag.Int("radix", 0, "dependencies per task (nearest/spread)")
+		threshold = flag.Float64("threshold", 0.5, "efficiency threshold")
+		maxIters  = flag.Int64("maxiters", 0, "top of the problem-size sweep (0 = auto)")
+		density   = flag.Int("density", 2, "sweep points per doubling")
+	)
+	flag.Parse()
+
+	if (*backend == "") == (*profile == "") {
+		fmt.Fprintln(os.Stderr, "metg: specify exactly one of -backend or -profile")
+		fmt.Fprintln(os.Stderr, "backends:", runtime.Names())
+		os.Exit(2)
+	}
+
+	dep, err := core.ParseDependenceType(*pattern)
+	if err != nil {
+		fatal(err)
+	}
+
+	var run metg.Runner
+	var peak float64
+	top := *maxIters
+
+	if *backend != "" {
+		rt, err := runtime.New(*backend)
+		if err != nil {
+			fatal(err)
+		}
+		w := *width
+		if w == 0 {
+			w = 4
+		}
+		run = func(iterations int64) core.RunStats {
+			g := core.MustNew(core.Params{
+				Timesteps: *steps, MaxWidth: w, Dependence: dep, Radix: *radix,
+				Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: iterations},
+			})
+			st, err := rt.Run(core.NewApp(g))
+			if err != nil {
+				fatal(err)
+			}
+			return st
+		}
+		cal := kernels.Calibrate()
+		peak = cal.FlopsPerSecondPerCore * float64(run(1).Workers)
+		if top == 0 {
+			top = 1 << 16
+		}
+	} else {
+		p, err := sim.ProfileByName(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		m := sim.Cori(*nodes)
+		wpn := 32
+		if *width > 0 {
+			wpn = *width / *nodes
+		}
+		w := sim.Workload{Dependence: dep, Radix: *radix, Steps: *steps, WidthPerNode: wpn}
+		run = metg.Runner(w.Runner(m, p))
+		peak = m.PeakFlops()
+		if top == 0 {
+			top = 1 << 31
+		}
+	}
+
+	value, points, ok := metg.Search(run, top, peak, 0, *threshold, *density)
+	fmt.Printf("%-12s %-14s %-10s\n", "iterations", "granularity", "efficiency")
+	for _, pt := range points {
+		fmt.Printf("%-12d %-14v %-10.3f\n", pt.Iterations, pt.Granularity.Round(time.Nanosecond), pt.Efficiency)
+	}
+	if !ok {
+		fmt.Printf("METG(%.0f%%): never reached\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("METG(%.0f%%) = %v\n", *threshold*100, value.Round(time.Nanosecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,154 @@
+// Command taskbench runs one Task Bench configuration on one runtime
+// backend, mirroring the reference implementation's driver:
+//
+//	taskbench -backend p2p -steps 1000 -width 4 -type stencil_1d \
+//	    -kernel compute_bound -iter 2048 [-runs 3] [-and ...]
+//
+// Graph options follow the paper's Table 1 (see core.ParseArgs); the
+// -and flag starts an additional concurrent task graph. Every task
+// input is validated against the dependence relation unless
+// -novalidate is given, so a run that completes is a correct run.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	_ "taskbench/internal/runtime/all"
+	"taskbench/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "taskbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	backend := "p2p"
+	runs := 1
+	specPath := ""
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-spec":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-spec requires a JSON file path")
+			}
+			specPath = args[i+1]
+			i++
+		case "-backend":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-backend requires a value (one of %v)", runtime.Names())
+			}
+			backend = args[i+1]
+			i++
+		case "-runs":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-runs requires a value")
+			}
+			n, err := strconv.Atoi(args[i+1])
+			if err != nil || n < 1 {
+				return fmt.Errorf("invalid -runs %q", args[i+1])
+			}
+			runs = n
+			i++
+		case "-help", "--help", "-h":
+			usage()
+			return nil
+		default:
+			rest = append(rest, args[i])
+		}
+	}
+
+	var app *core.App
+	var err error
+	if specPath != "" {
+		if len(rest) > 0 {
+			return fmt.Errorf("-spec cannot be combined with graph flags %v", rest)
+		}
+		f, err := os.Open(specPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		spec, err := wire.Decode(f)
+		if err != nil {
+			return err
+		}
+		if app, err = spec.ToApp(); err != nil {
+			return err
+		}
+	} else if app, err = core.ParseArgs(rest); err != nil {
+		return err
+	}
+	rt, err := runtime.New(backend)
+	if err != nil {
+		return err
+	}
+
+	if app.Verbose {
+		cal := kernels.Calibrate()
+		fmt.Printf("host calibration: %.2f GFLOP/s/core, %.2f GB/s/core, %d cores\n",
+			cal.FlopsPerSecondPerCore/1e9, cal.BytesPerSecondPerCore/1e9, cal.Cores)
+		fmt.Printf("app: %d graph(s), %d tasks, %d dependencies\n",
+			len(app.Graphs), app.TotalTasks(), app.TotalDependencies())
+	}
+
+	var best core.RunStats
+	for r := 0; r < runs; r++ {
+		stats, err := rt.Run(app)
+		if err != nil {
+			return err
+		}
+		if r == 0 || stats.Elapsed < best.Elapsed {
+			best = stats
+		}
+		if app.Verbose {
+			stats.WriteReport(os.Stdout, fmt.Sprintf("%s[%d]", backend, r))
+		}
+	}
+	best.WriteReport(os.Stdout, backend)
+	return nil
+}
+
+func usage() {
+	fmt.Printf(`taskbench — run a Task Bench configuration on a runtime backend
+
+Backends: %v
+
+Driver options:
+  -backend NAME   runtime backend (default p2p)
+  -runs N         repetitions; the best run is reported (default 1)
+  -spec FILE      load the configuration from a JSON spec instead of flags
+
+Graph options (Table 1 of the paper; repeat after -and for more graphs):
+  -steps H        timesteps (default 4)
+  -width W        parallel columns (default 4)
+  -type T         trivial no_comm stencil_1d stencil_1d_periodic dom
+                  tree fft all_to_all nearest spread random_nearest
+  -radix K        dependencies per task (nearest/spread/random_nearest)
+  -period P       dependence sets cycled (spread/random_nearest)
+  -fraction F     edge density (random_nearest)
+  -kernel K       empty busy_wait compute_bound memory_bound load_imbalance
+  -iter N         kernel iterations per task
+  -span BYTES     bytes per iteration (memory_bound)
+  -wait DUR       busy_wait duration, e.g. 50us
+  -imbalance F    imbalance factor in [0,1]
+  -persistent     imbalance is per-column (persistent), not per-task
+  -output BYTES   payload bytes per dependency
+  -scratch BYTES  per-column working set
+  -seed S         deterministic workload seed
+
+Global options:
+  -workers N      execution parallelism
+  -nodes N        rank count for the hybrid backend
+  -novalidate     skip input validation (ablation)
+  -verbose        extra reporting
+`, runtime.Names())
+}

@@ -1,0 +1,50 @@
+// Distributed: runs a halo exchange over the hand-rolled TCP runtime
+// — real sockets, a real wire protocol — and cross-checks the result
+// against the in-process channel backend. Because every payload is
+// validated at the consumer, identical success on both transports
+// proves the wire protocol delivered every byte to the right task.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	_ "taskbench/internal/runtime/all"
+)
+
+func main() {
+	app := core.NewApp(core.MustNew(core.Params{
+		Timesteps:   50,
+		MaxWidth:    4,
+		Dependence:  core.Stencil1DPeriodic,
+		Kernel:      kernels.Config{Type: kernels.ComputeBound, Iterations: 4096},
+		OutputBytes: 4096,
+	}))
+	app.Workers = 4
+
+	fmt.Println("halo exchange on 4 ranks: in-process channels vs real TCP loopback")
+	fmt.Printf("%d tasks, %d dependence edges, 4 KiB payloads\n\n",
+		app.TotalTasks(), app.TotalDependencies())
+
+	for _, name := range []string{"p2p", "tcp"} {
+		rt, err := runtime.New(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := rt.Run(app)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-4s elapsed %12v  granularity %10v  %7.2f GFLOP/s\n",
+			name, stats.Elapsed, stats.TaskGranularity(), stats.FlopsPerSecond()/1e9)
+	}
+
+	fmt.Println("\nThe TCP transport pays per-message framing and kernel-crossing")
+	fmt.Println("costs — the overhead gap is the 'network software stack' the")
+	fmt.Println("paper's MsgOverhead profile parameter models.")
+}

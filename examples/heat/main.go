@@ -1,0 +1,64 @@
+// Heat: a 1-D heat-diffusion halo exchange, the canonical structured
+// mesh workload the stencil pattern distills (paper §1). Each column
+// is a mesh partition; every timestep exchanges one halo's worth of
+// payload with both neighbours and runs a memory-bound update over a
+// constant working set.
+//
+// The example contrasts a phase-based backend (bsp, the MPI analog)
+// with an asynchronous one (actor, the Charm++ analog) at shrinking
+// task sizes — the regime where runtime overhead starts to matter.
+//
+//	go run ./examples/heat
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	_ "taskbench/internal/runtime/all"
+)
+
+func main() {
+	const (
+		partitions = 4
+		timesteps  = 100
+		haloBytes  = 1024    // payload per dependence edge
+		cellsBytes = 1 << 20 // per-partition working set
+	)
+
+	fmt.Println("1-D heat diffusion: halo exchange on the stencil pattern")
+	fmt.Printf("%d partitions × %d timesteps, %d B halos, %d KiB working set\n\n",
+		partitions, timesteps, haloBytes, cellsBytes>>10)
+
+	for _, iterations := range []int64{512, 64, 8} {
+		app := core.NewApp(core.MustNew(core.Params{
+			Timesteps:   timesteps,
+			MaxWidth:    partitions,
+			Dependence:  core.Stencil1DPeriodic,
+			Kernel:      kernels.Config{Type: kernels.MemoryBound, Iterations: iterations, SpanBytes: 4096},
+			OutputBytes: haloBytes,
+			// The working set survives across timesteps, like a mesh.
+			ScratchBytes: cellsBytes,
+		}))
+
+		fmt.Printf("update size %d iterations:\n", iterations)
+		for _, name := range []string{"bsp", "actor"} {
+			rt, err := runtime.New(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			stats, err := rt.Run(app)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-6s granularity %10v  %8.2f MB/s\n",
+				name, stats.TaskGranularity(), stats.BytesPerSecond()/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("As updates shrink, per-task runtime overhead dominates —")
+	fmt.Println("exactly the effect METG quantifies (paper §4).")
+}

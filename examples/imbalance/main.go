@@ -1,0 +1,63 @@
+// Imbalance: reproduces the load-imbalance story of paper §5.7
+// (Figure 12) at host scale. Every task's duration is scaled by a
+// deterministic uniform [0,1) variable — identical across backends —
+// and four identical graphs run concurrently. Bulk-synchronous
+// execution is capped by the slowest task of every step; asynchronous
+// and work-stealing backends soak up the variance.
+//
+//	go run ./examples/imbalance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	_ "taskbench/internal/runtime/all"
+)
+
+func main() {
+	const graphs = 4
+	gs := make([]*core.Graph, graphs)
+	for k := range gs {
+		gs[k] = core.MustNew(core.Params{
+			GraphID:    k,
+			Timesteps:  40,
+			MaxWidth:   8,
+			Dependence: core.Nearest,
+			Radix:      5,
+			Kernel: kernels.Config{
+				Type:            kernels.LoadImbalance,
+				Iterations:      20000,
+				ImbalanceFactor: 1.0, // uniform [0,1) task durations
+			},
+			Seed: 2020,
+		})
+	}
+	app := core.NewApp(gs...)
+	fmt.Printf("load imbalance: %d graphs × %d tasks, durations ~ U[0,1)\n\n",
+		graphs, gs[0].TotalTasks())
+
+	var baseline float64
+	for _, name := range []string{"bsp", "taskpool", "steal", "actor"} {
+		rt, err := runtime.New(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := rt.Run(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gf := stats.FlopsPerSecond() / 1e9
+		if baseline == 0 {
+			baseline = gf
+		}
+		fmt.Printf("%-9s elapsed %12v  %6.2f GFLOP/s  (%.2fx vs bulk sync)\n",
+			name, stats.Elapsed, gf, gf/baseline)
+	}
+
+	fmt.Println("\nThe same seeded workload ran on every backend, so the")
+	fmt.Println("differences are purely scheduling (paper §5.7).")
+}

@@ -1,0 +1,56 @@
+// Sweep3d: the wavefront ("sweep") dependence pattern of discrete
+// ordinates radiation transport (paper Figure 1d). Each task depends
+// on its own column and its left neighbour, so work fills in a
+// diagonal wave across the processor array.
+//
+// Phase-based execution serializes each step's diagonal; asynchronous
+// dataflow execution (events backend, the Realm analog) pipelines
+// successive waves, which is why wavefront codes love task-based
+// runtimes.
+//
+//	go run ./examples/sweep3d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	_ "taskbench/internal/runtime/all"
+)
+
+func main() {
+	const (
+		width  = 8
+		height = 64
+	)
+	fmt.Println("wavefront sweep: D(t, i) = {i-1, i}")
+
+	app := core.NewApp(core.MustNew(core.Params{
+		Timesteps:   height,
+		MaxWidth:    width,
+		Dependence:  core.Dom,
+		Kernel:      kernels.Config{Type: kernels.ComputeBound, Iterations: 4096},
+		OutputBytes: 256,
+	}))
+	fmt.Printf("%d angles × %d planes, %d tasks, %d dependence edges\n\n",
+		width, height, app.TotalTasks(), app.TotalDependencies())
+
+	for _, name := range []string{"serial", "bsp", "events", "steal"} {
+		rt, err := runtime.New(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := rt.Run(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s elapsed %12v  granularity %10v  %7.2f GFLOP/s\n",
+			name, stats.Elapsed, stats.TaskGranularity(), stats.FlopsPerSecond()/1e9)
+	}
+
+	fmt.Println("\nEvery backend validated every task's inputs against the")
+	fmt.Println("sweep relation — a completed run is a correct sweep.")
+}

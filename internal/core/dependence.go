@@ -1,0 +1,100 @@
+package core
+
+import "fmt"
+
+// DependenceType selects the dependence relation of a task graph
+// (paper Table 2 plus the additional patterns shipped by the reference
+// implementation).
+type DependenceType int
+
+// Supported dependence patterns.
+const (
+	// Trivial has no dependencies at all: embarrassing parallelism.
+	Trivial DependenceType = iota
+	// NoComm depends only on the same point in the previous timestep.
+	NoComm
+	// Stencil1D depends on {i-1, i, i+1}, clamped at the edges.
+	Stencil1D
+	// Stencil1DPeriodic is Stencil1D with wrap-around boundaries.
+	Stencil1DPeriodic
+	// Dom is the sweep/wavefront pattern {i-1, i} (paper "Sweep").
+	Dom
+	// Tree is binary fan-out (width doubles each step until the full
+	// width is reached) followed by butterfly exchange. See Figure 1e.
+	Tree
+	// FFT depends on {i, i-2^t, i+2^t}, the butterfly of an FFT.
+	FFT
+	// AllToAll depends on every point of the previous timestep.
+	AllToAll
+	// Nearest depends on the Radix nearest columns (including self);
+	// Radix 3 is equivalent to Stencil1D, Radix 0 to Trivial.
+	Nearest
+	// Spread depends on Radix columns spread as widely as possible
+	// across the graph, shifting each timestep.
+	Spread
+	// RandomNearest is Nearest with each candidate dependency kept
+	// with probability Fraction, decided by a deterministic hash.
+	RandomNearest
+)
+
+var dependenceNames = map[DependenceType]string{
+	Trivial:           "trivial",
+	NoComm:            "no_comm",
+	Stencil1D:         "stencil_1d",
+	Stencil1DPeriodic: "stencil_1d_periodic",
+	Dom:               "dom",
+	Tree:              "tree",
+	FFT:               "fft",
+	AllToAll:          "all_to_all",
+	Nearest:           "nearest",
+	Spread:            "spread",
+	RandomNearest:     "random_nearest",
+}
+
+// String returns the canonical CLI name of the dependence type.
+func (d DependenceType) String() string {
+	if s, ok := dependenceNames[d]; ok {
+		return s
+	}
+	return fmt.Sprintf("core.DependenceType(%d)", int(d))
+}
+
+// ParseDependenceType converts a CLI name into a DependenceType.
+func ParseDependenceType(s string) (DependenceType, error) {
+	for d, name := range dependenceNames {
+		if s == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown dependence type %q", s)
+}
+
+// DependenceTypes lists every supported pattern in declaration order,
+// for table generators and exhaustive tests.
+func DependenceTypes() []DependenceType {
+	return []DependenceType{
+		Trivial, NoComm, Stencil1D, Stencil1DPeriodic, Dom, Tree,
+		FFT, AllToAll, Nearest, Spread, RandomNearest,
+	}
+}
+
+// RequiresPowerOfTwoWidth reports whether the pattern's relation is
+// defined only for power-of-two graph widths (butterfly structures).
+func (d DependenceType) RequiresPowerOfTwoWidth() bool {
+	return d == Tree || d == FFT
+}
+
+// log2Floor returns floor(log2(x)) for x >= 1.
+func log2Floor(x int) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// isPowerOfTwo reports whether x is a positive power of two.
+func isPowerOfTwo(x int) bool {
+	return x > 0 && x&(x-1) == 0
+}

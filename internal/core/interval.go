@@ -1,0 +1,114 @@
+// Package core implements the Task Bench core library: the
+// parameterized task-graph description (iteration space × dependence
+// relation), kernel dispatch, payload validation, parameter parsing and
+// result reporting. Every runtime backend in internal/runtime executes
+// graphs described by this package, mirroring the paper's separation of
+// benchmark specification from system-specific implementation (§2).
+package core
+
+import "fmt"
+
+// Interval is an inclusive range [First, Last] of column indices. The
+// core library reports dependencies as interval lists, like the C
+// implementation, so that wide relations (all-to-all) stay compact.
+type Interval struct {
+	First int
+	Last  int
+}
+
+// Len returns the number of points in the interval.
+func (iv Interval) Len() int {
+	if iv.Last < iv.First {
+		return 0
+	}
+	return iv.Last - iv.First + 1
+}
+
+// Contains reports whether the column lies within the interval.
+func (iv Interval) Contains(i int) bool {
+	return i >= iv.First && i <= iv.Last
+}
+
+// String renders the interval in [first, last] form.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%d, %d]", iv.First, iv.Last)
+}
+
+// IntervalList is an ordered, non-overlapping set of intervals.
+type IntervalList []Interval
+
+// Count returns the total number of points covered by the list.
+func (l IntervalList) Count() int {
+	n := 0
+	for _, iv := range l {
+		n += iv.Len()
+	}
+	return n
+}
+
+// Contains reports whether any interval in the list covers the column.
+func (l IntervalList) Contains(i int) bool {
+	for _, iv := range l {
+		if iv.Contains(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Points expands the list into individual column indices in order.
+func (l IntervalList) Points() []int {
+	pts := make([]int, 0, l.Count())
+	for _, iv := range l {
+		for i := iv.First; i <= iv.Last; i++ {
+			pts = append(pts, i)
+		}
+	}
+	return pts
+}
+
+// ForEach invokes fn on every point in the list, in order.
+func (l IntervalList) ForEach(fn func(i int)) {
+	for _, iv := range l {
+		for i := iv.First; i <= iv.Last; i++ {
+			fn(i)
+		}
+	}
+}
+
+// clip restricts the list to [lo, hi] (inclusive), dropping or trimming
+// intervals that fall outside. Runtimes use it to clip a dependence
+// relation to the active window of the producing timestep.
+func (l IntervalList) clip(lo, hi int) IntervalList {
+	var out IntervalList
+	for _, iv := range l {
+		first, last := iv.First, iv.Last
+		if first < lo {
+			first = lo
+		}
+		if last > hi {
+			last = hi
+		}
+		if first <= last {
+			out = append(out, Interval{first, last})
+		}
+	}
+	return out
+}
+
+// intervalsFromSorted compresses a sorted, deduplicated point slice
+// into an interval list.
+func intervalsFromSorted(pts []int) IntervalList {
+	var out IntervalList
+	for n := 0; n < len(pts); {
+		first := pts[n]
+		last := first
+		n++
+		for n < len(pts) && pts[n] == last+1 {
+			last = pts[n]
+			n++
+		}
+		out = append(out, Interval{first, last})
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalLen(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want int
+	}{
+		{Interval{0, 0}, 1},
+		{Interval{2, 5}, 4},
+		{Interval{5, 2}, 0},
+		{Interval{-3, -1}, 3},
+	}
+	for _, c := range cases {
+		if got := c.iv.Len(); got != c.want {
+			t.Errorf("%v.Len() = %d, want %d", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{3, 7}
+	for i := 0; i < 12; i++ {
+		want := i >= 3 && i <= 7
+		if got := iv.Contains(i); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestIntervalListCount(t *testing.T) {
+	l := IntervalList{{0, 2}, {5, 5}, {8, 9}}
+	if got := l.Count(); got != 6 {
+		t.Errorf("Count() = %d, want 6", got)
+	}
+	if got := IntervalList(nil).Count(); got != 0 {
+		t.Errorf("nil Count() = %d, want 0", got)
+	}
+}
+
+func TestIntervalListPoints(t *testing.T) {
+	l := IntervalList{{0, 2}, {5, 5}}
+	want := []int{0, 1, 2, 5}
+	if got := l.Points(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Points() = %v, want %v", got, want)
+	}
+}
+
+func TestIntervalListForEachOrder(t *testing.T) {
+	l := IntervalList{{3, 4}, {7, 8}}
+	var got []int
+	l.ForEach(func(i int) { got = append(got, i) })
+	want := []int{3, 4, 7, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ForEach order = %v, want %v", got, want)
+	}
+}
+
+func TestIntervalListClip(t *testing.T) {
+	l := IntervalList{{-2, 3}, {5, 10}}
+	got := l.clip(0, 7)
+	want := IntervalList{{0, 3}, {5, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("clip = %v, want %v", got, want)
+	}
+	if got := l.clip(20, 30); got != nil {
+		t.Errorf("clip outside = %v, want nil", got)
+	}
+}
+
+func TestIntervalsFromSorted(t *testing.T) {
+	got := intervalsFromSorted([]int{1, 2, 3, 7, 9, 10})
+	want := IntervalList{{1, 3}, {7, 7}, {9, 10}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("intervalsFromSorted = %v, want %v", got, want)
+	}
+	if got := intervalsFromSorted(nil); got != nil {
+		t.Errorf("intervalsFromSorted(nil) = %v, want nil", got)
+	}
+}
+
+// Property: compressing any sorted deduplicated point set into
+// intervals and expanding it back is the identity.
+func TestIntervalRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		seen := map[int]bool{}
+		var pts []int
+		for _, r := range raw {
+			if !seen[int(r)] {
+				seen[int(r)] = true
+				pts = append(pts, int(r))
+			}
+		}
+		sortInts(pts)
+		l := intervalsFromSorted(pts)
+		back := l.Points()
+		if len(pts) == 0 {
+			return len(back) == 0
+		}
+		return reflect.DeepEqual(pts, back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	f := func(raw []int16) bool {
+		a := make([]int, len(raw))
+		for i, r := range raw {
+			a[i] = int(r)
+		}
+		sortInts(a)
+		for i := 1; i < len(a); i++ {
+			if a[i-1] > a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"taskbench/internal/kernels"
+)
+
+// App is a full Task Bench configuration: one or more task graphs to
+// execute concurrently (paper §2: "multiple (potentially heterogeneous)
+// task graphs can be executed concurrently to introduce task
+// parallelism"), plus machine-shape hints shared by all backends.
+type App struct {
+	Graphs []*Graph
+
+	// Workers is the degree of execution parallelism the backend
+	// should use (analogous to cores per run). Zero means one worker
+	// per graph column.
+	Workers int
+
+	// Nodes is the number of simulated nodes for distributed backends
+	// and the simulator. Zero means one node.
+	Nodes int
+
+	// Validate controls input payload verification (on by default;
+	// the ablation study turns it off).
+	Validate bool
+
+	// Verbose enables per-graph reporting.
+	Verbose bool
+}
+
+// NewApp builds an App over the given graphs with validation enabled.
+func NewApp(graphs ...*Graph) *App {
+	return &App{Graphs: graphs, Validate: true}
+}
+
+// TotalTasks sums the task counts of all graphs.
+func (a *App) TotalTasks() int64 {
+	var n int64
+	for _, g := range a.Graphs {
+		n += g.TotalTasks()
+	}
+	return n
+}
+
+// TotalDependencies sums the dependence edge counts of all graphs.
+func (a *App) TotalDependencies() int64 {
+	var n int64
+	for _, g := range a.Graphs {
+		n += g.TotalDependencies()
+	}
+	return n
+}
+
+// ExpectedFlops sums the floating point work of all tasks.
+func (a *App) ExpectedFlops() float64 {
+	var f float64
+	for _, g := range a.Graphs {
+		f += float64(g.TotalTasks()) * g.Kernel.FlopsPerTask()
+	}
+	return f
+}
+
+// ExpectedBytes sums the memory kernel traffic of all tasks.
+func (a *App) ExpectedBytes() float64 {
+	var b float64
+	for _, g := range a.Graphs {
+		b += float64(g.TotalTasks()) * g.Kernel.BytesPerTask()
+	}
+	return b
+}
+
+// parseState accumulates one graph's parameters during CLI parsing.
+type parseState struct {
+	p Params
+}
+
+func defaultParseState(graphID int) parseState {
+	return parseState{p: Params{
+		GraphID:    graphID,
+		Timesteps:  4,
+		MaxWidth:   4,
+		Dependence: Trivial,
+		Kernel:     kernels.Config{Type: kernels.Empty},
+	}}
+}
+
+// ParseArgs parses a Task Bench command line in the style of the
+// reference driver. Graph options (Table 1) apply to the graph being
+// described; "-and" finishes the current graph and starts another that
+// inherits the defaults afresh. Global options (-workers, -nodes,
+// -novalidate, -verbose) may appear anywhere.
+//
+//	-steps H -width W -type stencil_1d -kernel compute_bound -iter N
+//	  [-radix K] [-period P] [-fraction F] [-output BYTES]
+//	  [-scratch BYTES] [-span BYTES] [-imbalance F] [-wait DUR]
+//	  [-seed S] [-and ...next graph...]
+func ParseArgs(args []string) (*App, error) {
+	app := &App{Validate: true}
+	cur := defaultParseState(0)
+
+	need := func(i int, flag string) (string, error) {
+		if i+1 >= len(args) {
+			return "", fmt.Errorf("core: flag %s requires a value", flag)
+		}
+		return args[i+1], nil
+	}
+	parseInt := func(i int, flag string) (int, error) {
+		v, err := need(i, flag)
+		if err != nil {
+			return 0, err
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("core: flag %s: %v", flag, err)
+		}
+		return n, nil
+	}
+	parseFloat := func(i int, flag string) (float64, error) {
+		v, err := need(i, flag)
+		if err != nil {
+			return 0, err
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("core: flag %s: %v", flag, err)
+		}
+		return f, nil
+	}
+
+	finish := func() error {
+		g, err := New(cur.p)
+		if err != nil {
+			return err
+		}
+		app.Graphs = append(app.Graphs, g)
+		return nil
+	}
+
+	for i := 0; i < len(args); i++ {
+		var err error
+		switch flag := args[i]; flag {
+		case "-steps":
+			cur.p.Timesteps, err = parseInt(i, flag)
+			i++
+		case "-width":
+			cur.p.MaxWidth, err = parseInt(i, flag)
+			i++
+		case "-type":
+			var v string
+			if v, err = need(i, flag); err == nil {
+				cur.p.Dependence, err = ParseDependenceType(v)
+			}
+			i++
+		case "-radix":
+			cur.p.Radix, err = parseInt(i, flag)
+			i++
+		case "-period":
+			cur.p.Period, err = parseInt(i, flag)
+			i++
+		case "-fraction":
+			cur.p.Fraction, err = parseFloat(i, flag)
+			i++
+		case "-kernel":
+			var v string
+			if v, err = need(i, flag); err == nil {
+				cur.p.Kernel.Type, err = kernels.ParseType(v)
+			}
+			i++
+		case "-iter":
+			var n int
+			n, err = parseInt(i, flag)
+			cur.p.Kernel.Iterations = int64(n)
+			i++
+		case "-span":
+			var n int
+			n, err = parseInt(i, flag)
+			cur.p.Kernel.SpanBytes = int64(n)
+			i++
+		case "-wait":
+			var v string
+			if v, err = need(i, flag); err == nil {
+				cur.p.Kernel.WaitDuration, err = time.ParseDuration(v)
+			}
+			i++
+		case "-imbalance":
+			cur.p.Kernel.ImbalanceFactor, err = parseFloat(i, flag)
+			i++
+		case "-persistent":
+			cur.p.Kernel.PersistentImbalance = true
+		case "-output":
+			cur.p.OutputBytes, err = parseInt(i, flag)
+			i++
+		case "-scratch":
+			var n int
+			n, err = parseInt(i, flag)
+			cur.p.ScratchBytes = int64(n)
+			i++
+		case "-seed":
+			var n int
+			n, err = parseInt(i, flag)
+			cur.p.Seed = uint64(n)
+			i++
+		case "-and":
+			if err = finish(); err == nil {
+				cur = defaultParseState(len(app.Graphs))
+			}
+		case "-workers":
+			app.Workers, err = parseInt(i, flag)
+			i++
+		case "-nodes":
+			app.Nodes, err = parseInt(i, flag)
+			i++
+		case "-novalidate":
+			app.Validate = false
+		case "-verbose":
+			app.Verbose = true
+		default:
+			return nil, fmt.Errorf("core: unknown flag %q", flag)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"taskbench/internal/kernels"
+)
+
+func TestParseArgsSingleGraph(t *testing.T) {
+	app, err := ParseArgs([]string{
+		"-steps", "100", "-width", "32", "-type", "stencil_1d",
+		"-kernel", "compute_bound", "-iter", "512", "-output", "64",
+		"-scratch", "4096", "-seed", "9", "-workers", "8", "-verbose",
+	})
+	if err != nil {
+		t.Fatalf("ParseArgs: %v", err)
+	}
+	if len(app.Graphs) != 1 {
+		t.Fatalf("got %d graphs, want 1", len(app.Graphs))
+	}
+	g := app.Graphs[0]
+	if g.Timesteps != 100 || g.MaxWidth != 32 || g.Dependence != Stencil1D {
+		t.Errorf("graph shape = %d×%d %v", g.Timesteps, g.MaxWidth, g.Dependence)
+	}
+	if g.Kernel.Type != kernels.ComputeBound || g.Kernel.Iterations != 512 {
+		t.Errorf("kernel = %+v", g.Kernel)
+	}
+	if g.OutputBytes != 64 || g.ScratchBytes != 4096 || g.Seed != 9 {
+		t.Errorf("payload params = %d, %d, %d", g.OutputBytes, g.ScratchBytes, g.Seed)
+	}
+	if app.Workers != 8 || !app.Verbose || !app.Validate {
+		t.Errorf("app flags = %+v", app)
+	}
+}
+
+func TestParseArgsMultipleGraphs(t *testing.T) {
+	app, err := ParseArgs([]string{
+		"-steps", "10", "-width", "8", "-type", "nearest", "-radix", "5",
+		"-and",
+		"-steps", "20", "-width", "8", "-type", "fft",
+	})
+	if err != nil {
+		t.Fatalf("ParseArgs: %v", err)
+	}
+	if len(app.Graphs) != 2 {
+		t.Fatalf("got %d graphs, want 2", len(app.Graphs))
+	}
+	if app.Graphs[0].GraphID != 0 || app.Graphs[1].GraphID != 1 {
+		t.Errorf("graph IDs = %d, %d", app.Graphs[0].GraphID, app.Graphs[1].GraphID)
+	}
+	if app.Graphs[1].Dependence != FFT || app.Graphs[1].Timesteps != 20 {
+		t.Errorf("second graph = %+v", app.Graphs[1].Params)
+	}
+	// Settings do not leak between graphs.
+	if app.Graphs[1].Radix != 0 {
+		t.Errorf("radix leaked into second graph: %d", app.Graphs[1].Radix)
+	}
+}
+
+func TestParseArgsKernelOptions(t *testing.T) {
+	app, err := ParseArgs([]string{
+		"-steps", "2", "-width", "2", "-kernel", "busy_wait", "-wait", "50us",
+	})
+	if err != nil {
+		t.Fatalf("ParseArgs: %v", err)
+	}
+	if got := app.Graphs[0].Kernel.WaitDuration; got != 50*time.Microsecond {
+		t.Errorf("wait = %v, want 50µs", got)
+	}
+
+	app, err = ParseArgs([]string{
+		"-steps", "2", "-width", "2", "-kernel", "memory_bound",
+		"-iter", "8", "-span", "1024", "-scratch", "65536",
+	})
+	if err != nil {
+		t.Fatalf("ParseArgs: %v", err)
+	}
+	if got := app.Graphs[0].Kernel.SpanBytes; got != 1024 {
+		t.Errorf("span = %d, want 1024", got)
+	}
+
+	app, err = ParseArgs([]string{
+		"-steps", "2", "-width", "2", "-kernel", "load_imbalance",
+		"-iter", "100", "-imbalance", "1.0",
+	})
+	if err != nil {
+		t.Fatalf("ParseArgs: %v", err)
+	}
+	if got := app.Graphs[0].Kernel.ImbalanceFactor; got != 1.0 {
+		t.Errorf("imbalance = %v, want 1.0", got)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	cases := [][]string{
+		{"-steps"},                      // missing value
+		{"-steps", "abc"},               // non-numeric
+		{"-type", "bogus"},              // unknown pattern
+		{"-kernel", "bogus"},            // unknown kernel
+		{"-bogus"},                      // unknown flag
+		{"-steps", "0"},                 // invalid graph
+		{"-type", "fft", "-width", "6"}, // pow2 violation
+		{"-wait", "xyz"},                // bad duration
+	}
+	for _, args := range cases {
+		if _, err := ParseArgs(args); err == nil {
+			t.Errorf("ParseArgs(%v) accepted invalid input", args)
+		}
+	}
+}
+
+func TestParseArgsNoValidate(t *testing.T) {
+	app, err := ParseArgs([]string{"-steps", "1", "-width", "1", "-novalidate"})
+	if err != nil {
+		t.Fatalf("ParseArgs: %v", err)
+	}
+	if app.Validate {
+		t.Error("-novalidate did not clear Validate")
+	}
+}
+
+func TestAppAccounting(t *testing.T) {
+	g1 := MustNew(Params{Timesteps: 10, MaxWidth: 4, Dependence: Stencil1D,
+		Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: 100}})
+	g2 := MustNew(Params{Timesteps: 5, MaxWidth: 2, Dependence: NoComm,
+		Kernel: kernels.Config{Type: kernels.MemoryBound, Iterations: 3, SpanBytes: 128}})
+	app := NewApp(g1, g2)
+	if got := app.TotalTasks(); got != 50 {
+		t.Errorf("TotalTasks = %d, want 50", got)
+	}
+	wantFlops := float64(40) * 100 * kernels.FlopsPerIteration
+	if got := app.ExpectedFlops(); got != wantFlops {
+		t.Errorf("ExpectedFlops = %v, want %v", got, wantFlops)
+	}
+	wantBytes := float64(10) * 3 * 128 * 2
+	if got := app.ExpectedBytes(); got != wantBytes {
+		t.Errorf("ExpectedBytes = %v, want %v", got, wantBytes)
+	}
+	if got := app.TotalDependencies(); got != g1.TotalDependencies()+g2.TotalDependencies() {
+		t.Errorf("TotalDependencies = %d", got)
+	}
+}
+
+func TestRunStatsDerived(t *testing.T) {
+	r := RunStats{
+		Elapsed: time.Second,
+		Tasks:   1000,
+		Flops:   5e9,
+		Workers: 4,
+	}
+	if got := r.TaskGranularity(); got != 4*time.Millisecond {
+		t.Errorf("TaskGranularity = %v, want 4ms", got)
+	}
+	if got := r.FlopsPerSecond(); got != 5e9 {
+		t.Errorf("FlopsPerSecond = %v, want 5e9", got)
+	}
+	if got := r.TasksPerSecond(); got != 1000 {
+		t.Errorf("TasksPerSecond = %v, want 1000", got)
+	}
+	if got := r.Efficiency(10e9, 0); got != 0.5 {
+		t.Errorf("Efficiency = %v, want 0.5", got)
+	}
+	mem := RunStats{Elapsed: time.Second, Tasks: 10, Bytes: 4e9, Workers: 1}
+	if got := mem.Efficiency(0, 8e9); got != 0.5 {
+		t.Errorf("memory Efficiency = %v, want 0.5", got)
+	}
+	var zero RunStats
+	if zero.TaskGranularity() != 0 || zero.FlopsPerSecond() != 0 || zero.Efficiency(1, 1) != 0 {
+		t.Error("zero RunStats should produce zero derived values")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	r := RunStats{Elapsed: time.Second, Tasks: 10, Flops: 1e9, Workers: 2}
+	var sb strings.Builder
+	r.WriteReport(&sb, "serial")
+	out := sb.String()
+	for _, want := range []string{"serial", "tasks", "GFLOP/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report %q missing %q", out, want)
+		}
+	}
+}
+
+func TestStatsFor(t *testing.T) {
+	g := MustNew(Params{Timesteps: 4, MaxWidth: 4, Dependence: Stencil1D,
+		Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: 10}})
+	app := NewApp(g)
+	s := StatsFor(app)
+	if s.Tasks != 16 || s.Flops != 16*10*kernels.FlopsPerIteration {
+		t.Errorf("StatsFor = %+v", s)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"taskbench/internal/kernels"
+)
+
+// PayloadHeaderSize is the number of bytes at the front of every task
+// output identifying the producing task. The paper's core library makes
+// "the output of every task ... unique, and all inputs are verified"
+// (§2); the header carries (timestep, point) and the remaining bytes a
+// deterministic fill pattern, so corruption anywhere is detectable.
+const PayloadHeaderSize = 16
+
+// ValidationError describes a failed input check. Runtimes treat any
+// validation error as fatal, mirroring the assertion in the reference
+// core library.
+type ValidationError struct {
+	GraphID  int
+	Timestep int
+	Point    int
+	Detail   string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("core: validation failed for task (t=%d, i=%d) of graph %d: %s",
+		e.Timestep, e.Point, e.GraphID, e.Detail)
+}
+
+// fillByte is the deterministic pattern byte at offset k of the payload
+// produced by task (t, i).
+func fillByte(t, i, k int) byte {
+	return byte(uint32(t)*31 + uint32(i)*17 + uint32(k)*7 + 11)
+}
+
+// WriteOutput encodes task (t, i)'s unique output into buf, which must
+// be at least PayloadHeaderSize bytes (guaranteed by Params
+// validation). The bytes beyond the header carry the fill pattern.
+func (g *Graph) WriteOutput(t, i int, buf []byte) {
+	if len(buf) < PayloadHeaderSize {
+		panic("core: output buffer smaller than payload header")
+	}
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(int64(t)))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(int64(i)))
+	for k := PayloadHeaderSize; k < len(buf); k++ {
+		buf[k] = fillByte(t, i, k)
+	}
+}
+
+// decodeHeader extracts the (timestep, point) pair from a payload.
+func decodeHeader(buf []byte) (t, i int64) {
+	return int64(binary.LittleEndian.Uint64(buf[0:8])),
+		int64(binary.LittleEndian.Uint64(buf[8:16]))
+}
+
+// checkInput validates one input payload against the expected producer
+// (wantT, wantI). The header is checked exactly; the fill pattern is
+// sampled at the first, middle and last bytes, keeping the validation
+// overhead below the paper's 3% bound even for large payloads.
+func (g *Graph) checkInput(t, i int, buf []byte, wantT, wantI int) error {
+	fail := func(detail string) error {
+		return &ValidationError{GraphID: g.GraphID, Timestep: t, Point: i, Detail: detail}
+	}
+	if len(buf) != g.OutputBytes {
+		return fail(fmt.Sprintf("input from (t=%d, i=%d) has %d bytes, want %d",
+			wantT, wantI, len(buf), g.OutputBytes))
+	}
+	gotT, gotI := decodeHeader(buf)
+	if gotT != int64(wantT) || gotI != int64(wantI) {
+		return fail(fmt.Sprintf("input header is (t=%d, i=%d), want (t=%d, i=%d)",
+			gotT, gotI, wantT, wantI))
+	}
+	if len(buf) > PayloadHeaderSize {
+		samples := []int{PayloadHeaderSize, (PayloadHeaderSize + len(buf)) / 2, len(buf) - 1}
+		for _, k := range samples {
+			if buf[k] != fillByte(wantT, wantI, k) {
+				return fail(fmt.Sprintf("input from (t=%d, i=%d) corrupt at byte %d", wantT, wantI, k))
+			}
+		}
+	}
+	return nil
+}
+
+// ExecutePoint runs task (t, i): it validates every input payload
+// against the graph's dependence relation, executes the configured
+// kernel against the column's scratch buffer, and writes the task's
+// unique output into output. inputs must be supplied in dependence
+// enumeration order (ascending column). Returns a *ValidationError if
+// the inputs do not match the graph structure.
+//
+// Setting validate to false skips input checking; the ablation
+// benchmark uses this to measure validation overhead.
+func (g *Graph) ExecutePoint(t, i int, output []byte, inputs [][]byte, scratch *kernels.Scratch, validate bool) error {
+	if !g.ContainsPoint(t, i) {
+		return &ValidationError{GraphID: g.GraphID, Timestep: t, Point: i,
+			Detail: "task is outside the graph"}
+	}
+	if validate {
+		deps := g.DependenciesForPoint(t, i)
+		if got, want := len(inputs), deps.Count(); got != want {
+			return &ValidationError{GraphID: g.GraphID, Timestep: t, Point: i,
+				Detail: fmt.Sprintf("got %d inputs, want %d", got, want)}
+		}
+		n := 0
+		var err error
+		deps.ForEach(func(dep int) {
+			if err == nil {
+				err = g.checkInput(t, i, inputs[n], t-1, dep)
+			}
+			n++
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	kernels.Execute(g.Kernel, scratch, g.TaskMultiplier(t, i))
+
+	if len(output) != g.OutputBytes {
+		return &ValidationError{GraphID: g.GraphID, Timestep: t, Point: i,
+			Detail: fmt.Sprintf("output buffer has %d bytes, want %d", len(output), g.OutputBytes)}
+	}
+	g.WriteOutput(t, i, output)
+	if g.FaultRate > 0 {
+		g.maybeInjectFault(t, i, output)
+	}
+	return nil
+}
+
+// maybeInjectFault corrupts the task's output with probability
+// FaultRate, flipping the last fill byte (one of the positions every
+// consumer samples). Used by the fault-injection conformance tests.
+func (g *Graph) maybeInjectFault(t, i int, output []byte) {
+	h := hashPoint(g.Seed^0xfa017, int64(g.GraphID), int64(t), int64(i))
+	if uniformFloat(h) < g.FaultRate && len(output) > PayloadHeaderSize {
+		output[len(output)-1] ^= 0xFF
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+// Deterministic pseudo-random hashing for load imbalance and the
+// random_nearest dependence pattern. The paper requires task durations
+// to be "generated with a deterministic pseudo random number generator
+// with a consistent seed to ensure identical task durations for all
+// systems" (§5.7). A stateless splitmix64-style hash over
+// (seed, graph, timestep, point) gives exactly that property without
+// shared state between concurrently executing tasks.
+
+// splitmix64 is the finalizer from the splitmix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashPoint mixes a seed with up to three coordinates into a uniform
+// 64-bit value.
+func hashPoint(seed uint64, a, b, c int64) uint64 {
+	h := splitmix64(seed ^ 0x51f2cd1e95b4d4d5)
+	h = splitmix64(h ^ uint64(a))
+	h = splitmix64(h ^ uint64(b))
+	h = splitmix64(h ^ uint64(c))
+	return h
+}
+
+// uniformFloat converts a 64-bit hash into a float64 in [0, 1).
+func uniformFloat(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// TaskMultiplier returns the deterministic uniform [0, 1) variable
+// associated with task (t, i) of this graph, used by the
+// load-imbalance kernel. Identical for every runtime backend. Under
+// persistent imbalance the multiplier depends on the column only, so
+// timesteps are perfectly correlated (the future-work case of §5.7).
+func (g *Graph) TaskMultiplier(t, i int) float64 {
+	if g.Kernel.PersistentImbalance {
+		t = 0
+	}
+	return uniformFloat(hashPoint(g.Seed, int64(g.GraphID), int64(t), int64(i)))
+}

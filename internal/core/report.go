@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RunStats summarizes one execution of an App on some backend. The
+// fields mirror the quantities the reference driver prints: elapsed
+// time, task count and throughput, plus the derived task granularity
+// used throughout the paper's evaluation.
+type RunStats struct {
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+	// Tasks is the number of tasks executed.
+	Tasks int64
+	// Dependencies is the number of dependence edges satisfied.
+	Dependencies int64
+	// Flops is the useful floating point work performed.
+	Flops float64
+	// Bytes is the useful memory traffic performed.
+	Bytes float64
+	// Workers is the number of cores/workers used for the run.
+	Workers int
+}
+
+// StatsFor precomputes the static portion of RunStats for an App; the
+// backend fills in Elapsed and Workers after the run.
+func StatsFor(a *App) RunStats {
+	return RunStats{
+		Tasks:        a.TotalTasks(),
+		Dependencies: a.TotalDependencies(),
+		Flops:        a.ExpectedFlops(),
+		Bytes:        a.ExpectedBytes(),
+	}
+}
+
+// TaskGranularity is the paper's definition: wall time × cores ÷ tasks
+// (§4). It is the average per-task slot duration, counting idle time.
+func (r RunStats) TaskGranularity() time.Duration {
+	if r.Tasks == 0 {
+		return 0
+	}
+	return time.Duration(float64(r.Elapsed) * float64(r.Workers) / float64(r.Tasks))
+}
+
+// FlopsPerSecond returns the achieved floating point throughput.
+func (r RunStats) FlopsPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return r.Flops / r.Elapsed.Seconds()
+}
+
+// BytesPerSecond returns the achieved memory throughput.
+func (r RunStats) BytesPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return r.Bytes / r.Elapsed.Seconds()
+}
+
+// TasksPerSecond returns raw task throughput (the metric the paper
+// argues is insufficient without an efficiency constraint, §4).
+func (r RunStats) TasksPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Tasks) / r.Elapsed.Seconds()
+}
+
+// Efficiency returns achieved ÷ peak for the dominant resource: FLOP/s
+// against peakFlops when the workload does floating point work,
+// otherwise B/s against peakBytes.
+func (r RunStats) Efficiency(peakFlops, peakBytes float64) float64 {
+	switch {
+	case r.Flops > 0 && peakFlops > 0:
+		return r.FlopsPerSecond() / peakFlops
+	case r.Bytes > 0 && peakBytes > 0:
+		return r.BytesPerSecond() / peakBytes
+	default:
+		return 0
+	}
+}
+
+// WriteReport prints the run summary in the uniform format shared by
+// every backend, mirroring the reference core library's reporting role.
+func (r RunStats) WriteReport(w io.Writer, name string) {
+	fmt.Fprintf(w, "%-12s elapsed %12v  tasks %8d  granularity %12v",
+		name, r.Elapsed.Round(time.Microsecond), r.Tasks,
+		r.TaskGranularity().Round(time.Nanosecond))
+	if r.Flops > 0 {
+		fmt.Fprintf(w, "  %10.3f GFLOP/s", r.FlopsPerSecond()/1e9)
+	}
+	if r.Bytes > 0 {
+		fmt.Fprintf(w, "  %10.3f GB/s", r.BytesPerSecond()/1e9)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,47 @@
+// Package dot renders task graphs in Graphviz DOT format, the
+// visualization counterpart of the paper's Figure 1. Columns become
+// ranks of nodes, timesteps flow top to bottom, and every dependence
+// edge is drawn, so small graphs can be inspected exactly as the paper
+// draws them.
+package dot
+
+import (
+	"fmt"
+	"io"
+
+	"taskbench/internal/core"
+)
+
+// Write renders the graph as a DOT digraph. Intended for small graphs
+// (the output has one node per task).
+func Write(w io.Writer, g *core.Graph) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n", g.Dependence.String()); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  node [shape=circle, fontsize=10, width=0.35, fixedsize=true];")
+
+	for t := 0; t < g.Timesteps; t++ {
+		off := g.OffsetAtTimestep(t)
+		width := g.WidthAtTimestep(t)
+		fmt.Fprintf(w, "  { rank=same;")
+		for i := off; i < off+width; i++ {
+			fmt.Fprintf(w, " t%dp%d;", t, i)
+		}
+		fmt.Fprintln(w, " }")
+		for i := off; i < off+width; i++ {
+			fmt.Fprintf(w, "  t%dp%d [label=%q];\n", t, i, fmt.Sprintf("%d,%d", t, i))
+		}
+	}
+	for t := 1; t < g.Timesteps; t++ {
+		off := g.OffsetAtTimestep(t)
+		width := g.WidthAtTimestep(t)
+		for i := off; i < off+width; i++ {
+			g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+				fmt.Fprintf(w, "  t%dp%d -> t%dp%d;\n", t-1, dep, t, i)
+			})
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,51 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"taskbench/internal/core"
+)
+
+func TestWriteStencil(t *testing.T) {
+	g := core.MustNew(core.Params{Timesteps: 3, MaxWidth: 3, Dependence: core.Stencil1D})
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "stencil_1d"`,
+		"t0p0", "t2p2",
+		"t0p0 -> t1p0;", // self edge
+		"t0p1 -> t1p0;", // right neighbour
+		"t1p2 -> t2p1;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one node per task.
+	if n := strings.Count(out, "[label="); n != 9 {
+		t.Errorf("node count = %d, want 9", n)
+	}
+	// Edge count matches the graph.
+	if n := strings.Count(out, "->"); int64(n) != g.TotalDependencies() {
+		t.Errorf("edge count = %d, want %d", n, g.TotalDependencies())
+	}
+}
+
+func TestWriteTreeHasNarrowFirstRank(t *testing.T) {
+	g := core.MustNew(core.Params{Timesteps: 4, MaxWidth: 8, Dependence: core.Tree})
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "t0p1") {
+		t.Error("tree rendered a task outside the active window at t=0")
+	}
+	if !strings.Contains(out, "t0p0 -> t1p1;") {
+		t.Error("fan-out edge missing")
+	}
+}

@@ -1,0 +1,328 @@
+package harness
+
+import (
+	"strconv"
+	"time"
+
+	"taskbench/internal/core"
+	"taskbench/internal/metg"
+	"taskbench/internal/sim"
+	"taskbench/internal/stats"
+)
+
+// Scale bounds the cost of the simulator-driven experiments. Quick
+// keeps everything test-sized; Full reproduces the paper's axes (256
+// nodes).
+type Scale struct {
+	// MaxNodes bounds the node-count sweeps (paper: 256).
+	MaxNodes int
+	// Steps is the task-graph height used in METG workloads.
+	Steps int
+	// PerDoubling is the METG sweep resolution (points per 2×).
+	PerDoubling int
+	// CurvePoints is the resolution of efficiency-curve figures.
+	CurvePoints int
+}
+
+// Quick is the configuration used by tests and the default CLI run.
+func Quick() Scale { return Scale{MaxNodes: 16, Steps: 12, PerDoubling: 1, CurvePoints: 10} }
+
+// Full reproduces the paper's axes. Sim time is minutes, not hours.
+func Full() Scale { return Scale{MaxNodes: 256, Steps: 16, PerDoubling: 2, CurvePoints: 16} }
+
+// nodeCounts returns 1, 2, 4, ... up to the scale's bound.
+func (s Scale) nodeCounts() []int {
+	var out []int
+	for n := 1; n <= s.MaxNodes; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// startIters is the top of every problem-size sweep: big enough that
+// even Spark-class systems reach their efficiency plateau.
+const startIters = int64(1) << 31
+
+// searchMETG runs the paper's METG procedure on the simulator.
+func searchMETG(w sim.Workload, m sim.Machine, p sim.Profile, scale Scale) (time.Duration, bool) {
+	run := metg.Runner(w.Runner(m, p))
+	v, _, ok := metg.Search(run, startIters, m.PeakFlops(), 0, 0.5, scale.PerDoubling)
+	return v, ok
+}
+
+// Fig4WeakScaling reproduces Figure 4: MPI wall time vs node count
+// when the problem size per node is held constant (stencil pattern).
+// One series per per-task iteration count.
+func Fig4WeakScaling(scale Scale) *Figure {
+	p, _ := sim.ProfileByName("mpi p2p")
+	fig := &Figure{
+		ID: "fig4", Title: "MPI weak scaling (stencil)",
+		XLabel: "nodes", YLabel: "wall time (s)", LogX: true, LogY: true,
+	}
+	for _, iters := range []int64{1 << 4, 1 << 8, 1 << 12, 1 << 16, 1 << 20} {
+		s := Series{Label: itersLabel(iters)}
+		for _, nodes := range scale.nodeCounts() {
+			m := sim.Cori(nodes)
+			w := sim.Workload{Dependence: core.Stencil1D, Steps: 100, WidthPerNode: 32}
+			st := sim.Simulate(w.App(nodes, iters), m, p)
+			s.X = append(s.X, float64(nodes))
+			s.Y = append(s.Y, st.Elapsed.Seconds())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig5StrongScaling reproduces Figure 5: MPI wall time vs node count
+// with the TOTAL problem size held constant.
+func Fig5StrongScaling(scale Scale) *Figure {
+	p, _ := sim.ProfileByName("mpi p2p")
+	fig := &Figure{
+		ID: "fig5", Title: "MPI strong scaling (stencil)",
+		XLabel: "nodes", YLabel: "wall time (s)", LogX: true, LogY: true,
+	}
+	for _, baseIters := range []int64{1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26} {
+		s := Series{Label: itersLabel(baseIters)}
+		for _, nodes := range scale.nodeCounts() {
+			m := sim.Cori(nodes)
+			w := sim.Workload{Dependence: core.Stencil1D, Steps: 100, WidthPerNode: 32}
+			iters := baseIters / int64(nodes)
+			if iters < 1 {
+				iters = 1
+			}
+			st := sim.Simulate(w.App(nodes, iters), m, p)
+			s.X = append(s.X, float64(nodes))
+			s.Y = append(s.Y, st.Elapsed.Seconds())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig9Variant selects one of Figure 9's four dependence scenarios.
+type Fig9Variant struct {
+	Suffix string
+	Title  string
+	W      sim.Workload
+}
+
+// Fig9Variants returns the four panels of Figure 9.
+func Fig9Variants(scale Scale) []Fig9Variant {
+	return []Fig9Variant{
+		{"a", "stencil", sim.Workload{Dependence: core.Stencil1D, Steps: scale.Steps, WidthPerNode: 32}},
+		{"b", "nearest, 5 deps", sim.Workload{Dependence: core.Nearest, Radix: 5, Steps: scale.Steps, WidthPerNode: 32}},
+		{"c", "spread, 5 deps", sim.Workload{Dependence: core.Spread, Radix: 5, Steps: scale.Steps, WidthPerNode: 32}},
+		{"d", "nearest, 5 deps, 4 graphs", sim.Workload{Dependence: core.Nearest, Radix: 5, Steps: scale.Steps, WidthPerNode: 32, Graphs: 4}},
+	}
+}
+
+// Fig9METGvsNodes reproduces one panel of Figure 9: METG(50%) against
+// node count for every system profile.
+func Fig9METGvsNodes(v Fig9Variant, scale Scale) *Figure {
+	fig := &Figure{
+		ID: "fig9" + v.Suffix, Title: "METG vs nodes (" + v.Title + ")",
+		XLabel: "nodes", YLabel: "METG (ms)", LogX: true, LogY: true,
+	}
+	for _, p := range sim.Profiles() {
+		s := Series{Label: p.Name}
+		for _, nodes := range scale.nodeCounts() {
+			m := sim.Cori(nodes)
+			if got, ok := searchMETG(v.W, m, p, scale); ok {
+				s.X = append(s.X, float64(nodes))
+				s.Y = append(s.Y, got.Seconds()*1e3)
+			}
+		}
+		if len(s.X) > 0 {
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig
+}
+
+// Fig10METGvsDeps reproduces Figure 10: METG(50%) against the number
+// of dependencies per task (nearest pattern, 1 node).
+func Fig10METGvsDeps(scale Scale) *Figure {
+	fig := &Figure{
+		ID: "fig10", Title: "METG vs dependencies per task (nearest, 1 node)",
+		XLabel: "dependencies per task", YLabel: "METG (ms)", LogY: true,
+	}
+	m := sim.Cori(1)
+	for _, p := range sim.Profiles() {
+		s := Series{Label: p.Name}
+		for radix := 0; radix <= 9; radix++ {
+			w := sim.Workload{Dependence: core.Nearest, Radix: radix, Steps: scale.Steps, WidthPerNode: 32}
+			if got, ok := searchMETG(w, m, p, scale); ok {
+				s.X = append(s.X, float64(radix))
+				s.Y = append(s.Y, got.Seconds()*1e3)
+			}
+		}
+		if len(s.X) > 0 {
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig
+}
+
+// fig11Profiles is the subset of systems the paper plots in Figures
+// 11 and 12.
+var fig11Profiles = []string{
+	"chapel", "charm++", "mpi bulk sync", "mpi p2p", "mpi+openmp",
+	"parsec dtd", "parsec ptg", "parsec shard", "realm", "starpu",
+}
+
+// Fig11CommunicationHiding reproduces one panel of Figure 11:
+// efficiency vs task granularity at a given payload size (spread
+// pattern, 5 deps, 4 graphs, 64 nodes in the paper; the node count is
+// capped by the scale).
+func Fig11CommunicationHiding(bytes int, scale Scale, panel string) *Figure {
+	nodes := min(64, scale.MaxNodes)
+	m := sim.Cori(nodes)
+	fig := &Figure{
+		ID: "fig11" + panel, Title: "efficiency vs granularity, " + byteLabel(bytes) + " per dependency",
+		XLabel: "task granularity (ms)", YLabel: "efficiency", LogX: true,
+	}
+	w := sim.Workload{Dependence: core.Spread, Radix: 5, Steps: scale.Steps,
+		WidthPerNode: 32, Graphs: 4, OutputBytes: bytes}
+	iterSweep := stats.GeomIters(startIters, 64, scale.PerDoubling)
+	for _, name := range fig11Profiles {
+		p, err := sim.ProfileByName(name)
+		if err != nil {
+			continue
+		}
+		points := metg.Curve(metg.Runner(w.Runner(m, p)), iterSweep, m.PeakFlops(), 0)
+		s := Series{Label: name}
+		for _, pt := range points {
+			if pt.Granularity <= 0 {
+				continue
+			}
+			s.X = append(s.X, pt.Granularity.Seconds()*1e3)
+			s.Y = append(s.Y, pt.Efficiency)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig12LoadImbalance reproduces Figure 12: efficiency vs task
+// granularity under uniform [0,1) load imbalance (nearest pattern,
+// 5 deps, 4 graphs, 1 node).
+func Fig12LoadImbalance(scale Scale) *Figure {
+	m := sim.Cori(1)
+	fig := &Figure{
+		ID: "fig12", Title: "efficiency vs granularity under load imbalance",
+		XLabel: "task granularity (ms)", YLabel: "efficiency", LogX: true,
+	}
+	w := sim.Workload{Dependence: core.Nearest, Radix: 5, Steps: scale.Steps,
+		WidthPerNode: 32, Graphs: 4, Imbalance: 1.0, Seed: 2020}
+	iterSweep := stats.GeomIters(startIters, 16, scale.PerDoubling)
+	profiles := append([]string{"chapel distrib", "dask", "ompss", "openmp task", "x10"}, fig11Profiles...)
+	for _, name := range profiles {
+		p, err := sim.ProfileByName(name)
+		if err != nil {
+			continue
+		}
+		points := metg.Curve(metg.Runner(w.Runner(m, p)), iterSweep, m.PeakFlops(), 0)
+		s := Series{Label: name}
+		for _, pt := range points {
+			if pt.Granularity <= 0 {
+				continue
+			}
+			s.X = append(s.X, pt.Granularity.Seconds()*1e3)
+			s.Y = append(s.Y, pt.Efficiency)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.SortSeries()
+	return fig
+}
+
+// Fig12Persistent is this repository's extension of Figure 12 to
+// PERSISTENT load imbalance, the case the paper defers to future work
+// (§5.7): each column's speed is fixed for the whole run. Pinned
+// executions (sync and async alike) are now bound by the slowest
+// column, so only work redistribution helps — the gap between the
+// stealing and non-stealing lines widens compared to Figure 12.
+func Fig12Persistent(scale Scale) *Figure {
+	m := sim.Cori(1)
+	fig := &Figure{
+		ID: "fig12p", Title: "efficiency vs granularity under PERSISTENT load imbalance (extension)",
+		XLabel: "task granularity (ms)", YLabel: "efficiency", LogX: true,
+	}
+	w := sim.Workload{Dependence: core.Nearest, Radix: 5, Steps: scale.Steps,
+		WidthPerNode: 32, Graphs: 4, Imbalance: 1.0, Persistent: true, Seed: 2020}
+	iterSweep := stats.GeomIters(startIters, 16, scale.PerDoubling)
+	for _, name := range []string{"mpi bulk sync", "charm++", "chapel distrib", "realm"} {
+		p, err := sim.ProfileByName(name)
+		if err != nil {
+			continue
+		}
+		points := metg.Curve(metg.Runner(w.Runner(m, p)), iterSweep, m.PeakFlops(), 0)
+		s := Series{Label: name}
+		for _, pt := range points {
+			if pt.Granularity <= 0 {
+				continue
+			}
+			s.X = append(s.X, pt.Granularity.Seconds()*1e3)
+			s.Y = append(s.Y, pt.Efficiency)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig13GPU reproduces Figure 13: FLOP/s vs normalized problem size
+// for CPU-only MPI and the MPI+CUDA offload model at w1 and w4.
+func Fig13GPU(scale Scale) *Figure {
+	cfg := sim.GPUConfig{Machine: sim.PizDaint(1), Steps: 100, Width: 12, CopyBytesPerTask: 1 << 16}
+	fig := &Figure{
+		ID: "fig13", Title: "GPU FLOP/s vs normalized problem size (stencil, 1 node)",
+		XLabel: "iterations per task", YLabel: "TFLOP/s", LogX: true,
+	}
+	iters := stats.GeomIters(1<<27, 1<<4, scale.PerDoubling)
+	cpu := Series{Label: "MPI (CPU)"}
+	w1 := Series{Label: "MPI+CUDA w1"}
+	w4 := Series{Label: "MPI+CUDA w4"}
+	for _, it := range iters {
+		cpuR := sim.SimulateGPUCPUBaseline(cfg, it)
+		cpu.X = append(cpu.X, float64(it))
+		cpu.Y = append(cpu.Y, cpuR.FlopsPerSecond()/1e12)
+
+		c1 := cfg
+		c1.RanksPerGPU = 1
+		r1 := sim.SimulateGPU(c1, it)
+		w1.X = append(w1.X, float64(it))
+		w1.Y = append(w1.Y, r1.FlopsPerSecond()/1e12)
+
+		c4 := cfg
+		c4.RanksPerGPU = 4
+		r4 := sim.SimulateGPU(c4, it)
+		w4.X = append(w4.X, float64(it))
+		w4.Y = append(w4.Y, r4.FlopsPerSecond()/1e12)
+	}
+	fig.Series = []Series{cpu, w1, w4}
+	return fig
+}
+
+func itersLabel(iters int64) string {
+	return "iters=" + formatPow2(iters)
+}
+
+func formatPow2(v int64) string {
+	for p := 0; p < 63; p++ {
+		if int64(1)<<p == v {
+			return "2^" + strconv.Itoa(p)
+		}
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+func byteLabel(b int) string {
+	switch {
+	case b >= 1<<20:
+		return strconv.Itoa(b>>20) + " MiB"
+	case b >= 1<<10:
+		return strconv.Itoa(b>>10) + " KiB"
+	default:
+		return strconv.Itoa(b) + " B"
+	}
+}

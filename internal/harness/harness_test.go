@@ -1,0 +1,335 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	_ "taskbench/internal/runtime/all"
+)
+
+// tinyScale keeps simulator experiments test-sized.
+func tinyScale() Scale { return Scale{MaxNodes: 2, Steps: 6, PerDoubling: 1, CurvePoints: 6} }
+
+func tinyReal() RealConfig {
+	return RealConfig{
+		Backends: []string{"serial", "p2p"},
+		Steps:    6, Width: 2, MaxIters: 1 << 10, PerDoubling: 1,
+	}
+}
+
+func TestTable1Parameters(t *testing.T) {
+	tbl := Table1()
+	for _, want := range []string{"-steps", "-width", "-type", "-kernel", "-output", "-imbalance", "-and"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2DependenceRelations(t *testing.T) {
+	tbl := Table2()
+	for _, want := range []string{"trivial", "stencil_1d", "fft", "tree", "nearest", "spread"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+	// The stencil row must show the actual relation around point 8.
+	if !strings.Contains(tbl, "[7 8 9]") {
+		t.Error("Table2 stencil relation missing [7 8 9]")
+	}
+}
+
+func TestTable3Systems(t *testing.T) {
+	tbl := Table3()
+	for _, want := range []string{"p2p", "MPI p2p", "actor", "Charm++", "central", "Spark", "graphexec", "TensorFlow"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table3 missing %q", want)
+		}
+	}
+}
+
+func TestTable4Profiles(t *testing.T) {
+	tbl := Table4()
+	for _, want := range []string{"mpi p2p", "spark", "realm", "parsec dtd"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table4 missing %q", want)
+		}
+	}
+}
+
+func TestFigureCSVAndRender(t *testing.T) {
+	fig := &Figure{
+		ID: "test", Title: "test figure", XLabel: "x", YLabel: "y", LogX: true,
+		Series: []Series{
+			{Label: "a", X: []float64{1, 10, 100}, Y: []float64{3, 2, 1}},
+			{Label: "b", X: []float64{1, 10, 100}, Y: []float64{1, 2, 3}},
+		},
+	}
+	var csv strings.Builder
+	if err := fig.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "a,10,2") {
+		t.Errorf("CSV missing row: %s", csv.String())
+	}
+	var plot strings.Builder
+	fig.Render(&plot, 40, 10)
+	out := plot.String()
+	if !strings.Contains(out, "test figure") || !strings.Contains(out, "* a") {
+		t.Errorf("render missing pieces:\n%s", out)
+	}
+	// Rendering an empty figure must not panic.
+	empty := &Figure{ID: "e", Title: "empty"}
+	var sb strings.Builder
+	empty.Render(&sb, 40, 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty render missing placeholder")
+	}
+}
+
+func TestFigureSaveCSV(t *testing.T) {
+	fig := &Figure{ID: "unit", Series: []Series{{Label: "s", X: []float64{1}, Y: []float64{2}}}}
+	dir := t.TempDir()
+	if err := fig.SaveCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4WeakScalingFlatAtLargeTasks(t *testing.T) {
+	fig := Fig4WeakScaling(tinyScale())
+	if len(fig.Series) == 0 {
+		t.Fatal("no series")
+	}
+	// The largest problem size weak-scales: wall time roughly constant.
+	big := fig.Series[len(fig.Series)-1]
+	if len(big.Y) < 2 {
+		t.Fatal("need at least two node counts")
+	}
+	if ratio := big.Y[len(big.Y)-1] / big.Y[0]; ratio > 1.5 {
+		t.Errorf("large-task weak scaling degraded %.2fx", ratio)
+	}
+	// The smallest problem size does not: overhead dominates.
+	small := fig.Series[0]
+	if small.Y[len(small.Y)-1] <= 0 {
+		t.Error("small problem wall time not positive")
+	}
+}
+
+func TestFig5StrongScalingDecreasesAtLargeTasks(t *testing.T) {
+	fig := Fig5StrongScaling(tinyScale())
+	big := fig.Series[len(fig.Series)-1]
+	if big.Y[len(big.Y)-1] >= big.Y[0] {
+		t.Errorf("strong scaling did not reduce wall time: %v", big.Y)
+	}
+}
+
+func TestFig9QuickShape(t *testing.T) {
+	variants := Fig9Variants(tinyScale())
+	if len(variants) != 4 {
+		t.Fatalf("got %d variants, want 4", len(variants))
+	}
+	fig := Fig9METGvsNodes(variants[0], tinyScale())
+	if len(fig.Series) < 15 {
+		t.Fatalf("only %d series in fig9a", len(fig.Series))
+	}
+	// Find mpi p2p and spark; spark must sit far above mpi.
+	var mpi, spark []float64
+	for _, s := range fig.Series {
+		switch s.Label {
+		case "mpi p2p":
+			mpi = s.Y
+		case "spark":
+			spark = s.Y
+		}
+	}
+	if len(mpi) == 0 || len(spark) == 0 {
+		t.Fatal("missing mpi/spark series")
+	}
+	if spark[0] < 1000*mpi[0] {
+		t.Errorf("spark METG (%v ms) not ≫ mpi (%v ms)", spark[0], mpi[0])
+	}
+}
+
+func TestFig10DepsMonotoneForMPI(t *testing.T) {
+	fig := Fig10METGvsDeps(tinyScale())
+	for _, s := range fig.Series {
+		if s.Label != "mpi p2p" {
+			continue
+		}
+		if len(s.Y) < 10 {
+			t.Fatalf("mpi series has %d points, want 10", len(s.Y))
+		}
+		if s.Y[9] <= s.Y[0] {
+			t.Errorf("METG at 9 deps (%v) not above 0 deps (%v)", s.Y[9], s.Y[0])
+		}
+		return
+	}
+	t.Fatal("mpi p2p series missing")
+}
+
+func TestFig11Panel(t *testing.T) {
+	fig := Fig11CommunicationHiding(4096, tinyScale(), "c")
+	if fig.ID != "fig11c" || len(fig.Series) < 8 {
+		t.Fatalf("unexpected fig11: %s with %d series", fig.ID, len(fig.Series))
+	}
+}
+
+func TestFig12ImbalanceCapsBulkSync(t *testing.T) {
+	fig := Fig12LoadImbalance(tinyScale())
+	var bulk []float64
+	for _, s := range fig.Series {
+		if s.Label == "mpi bulk sync" {
+			bulk = s.Y
+		}
+	}
+	if len(bulk) == 0 {
+		t.Fatal("mpi bulk sync series missing")
+	}
+	// Under uniform [0,1) imbalance the bulk-synchronous efficiency is
+	// bounded well below 1 even at the largest granularity.
+	maxEff := 0.0
+	for _, y := range bulk {
+		if y > maxEff {
+			maxEff = y
+		}
+	}
+	if maxEff > 0.8 {
+		t.Errorf("bulk sync max efficiency %.3f under imbalance, want < 0.8", maxEff)
+	}
+}
+
+func TestFig13Crossover(t *testing.T) {
+	fig := Fig13GPU(tinyScale())
+	if len(fig.Series) != 3 {
+		t.Fatalf("fig13 series = %d, want 3", len(fig.Series))
+	}
+	cpu, w1, w4 := fig.Series[0], fig.Series[1], fig.Series[2]
+	last := len(cpu.Y) - 1
+	if w4.Y[0] <= cpu.Y[0] {
+		t.Errorf("at large problems GPU w4 (%v) not above CPU (%v)", w4.Y[0], cpu.Y[0])
+	}
+	if w1.Y[last] >= cpu.Y[last] {
+		t.Errorf("at small problems GPU w1 (%v) not below CPU (%v)", w1.Y[last], cpu.Y[last])
+	}
+}
+
+func TestFig6And7Real(t *testing.T) {
+	cfg := tinyReal()
+	fig6, err := Fig6FlopsVsProblemSize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig6.Series) != 2 {
+		t.Fatalf("fig6 series = %d", len(fig6.Series))
+	}
+	for _, s := range fig6.Series {
+		if s.Y[0] <= s.Y[len(s.Y)-1] {
+			t.Logf("note: %s FLOPS not higher at large problems (noisy host?)", s.Label)
+		}
+	}
+	fig7, err := Fig7EfficiencyCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7.Series) != 2 {
+		t.Fatalf("fig7 series = %d", len(fig7.Series))
+	}
+}
+
+func TestFig8Real(t *testing.T) {
+	fig, err := Fig8MemoryBandwidth(tinyReal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 || len(fig.Series[0].Y) == 0 {
+		t.Fatalf("fig8 malformed: %+v", fig)
+	}
+}
+
+func TestRealMETG(t *testing.T) {
+	rows, err := RealMETG(tinyReal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tbl := RealMETGTable(rows)
+	if !strings.Contains(tbl, "serial") || !strings.Contains(tbl, "p2p") {
+		t.Errorf("table missing backends:\n%s", tbl)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := Markdown([]string{"A", "B"}, [][]string{{"1", "2"}})
+	if !strings.Contains(md, "| A | B |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Errorf("markdown malformed:\n%s", md)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	dir := t.TempDir()
+	fig := &Figure{ID: "fig99", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "s", X: []float64{1, 2}, Y: []float64{2, 1}}}}
+	if err := fig.SaveCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.Create(filepath.Join(dir, "fig99.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig.Render(txt, 30, 8)
+	txt.Close()
+	if err := os.WriteFile(filepath.Join(dir, "table1.md"), []byte(Table1()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(dir); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(filepath.Join(dir, "REPORT.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(body)
+	for _, want := range []string{"## table1", "## fig99", "fig99.csv", "-steps"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("REPORT.md missing %q", want)
+		}
+	}
+}
+
+func TestSortFigures(t *testing.T) {
+	names := []string{"fig11a.txt", "fig4.txt", "fig9d.txt", "fig10.txt", "fig9a.txt"}
+	sortFigures(names)
+	want := []string{"fig4.txt", "fig9a.txt", "fig9d.txt", "fig10.txt", "fig11a.txt"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("sortFigures = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestFig12PersistentWidensGap(t *testing.T) {
+	fig := Fig12Persistent(tinyScale())
+	series := map[string][]float64{}
+	for _, s := range fig.Series {
+		series[s.Label] = s.Y
+	}
+	maxOf := func(ys []float64) float64 {
+		m := 0.0
+		for _, y := range ys {
+			if y > m {
+				m = y
+			}
+		}
+		return m
+	}
+	pinned := maxOf(series["charm++"])
+	stealing := maxOf(series["chapel distrib"])
+	if stealing <= pinned {
+		t.Errorf("persistent imbalance: stealing max eff %.3f not above pinned %.3f",
+			stealing, pinned)
+	}
+}

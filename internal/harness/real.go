@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/metg"
+	"taskbench/internal/runtime"
+	"taskbench/internal/stats"
+)
+
+// RealConfig shapes the real-execution sweeps (Figures 2, 3, 6, 7, 8
+// measured on this host's goroutine backends rather than the
+// simulator). Defaults keep a full sweep under a minute on one core.
+type RealConfig struct {
+	// Backends to measure; nil means every registered backend.
+	Backends []string
+	// Steps and Width shape the graph; Width 0 means one column per
+	// available worker.
+	Steps, Width int
+	// MaxIters is the top of the problem-size sweep.
+	MaxIters int64
+	// PerDoubling is the sweep resolution.
+	PerDoubling int
+}
+
+// DefaultRealConfig returns the standard host-scale configuration.
+func DefaultRealConfig() RealConfig {
+	return RealConfig{Steps: 30, Width: 4, MaxIters: 1 << 15, PerDoubling: 1}
+}
+
+func (c RealConfig) backends() []string {
+	if c.Backends != nil {
+		return c.Backends
+	}
+	return runtime.Names()
+}
+
+// realRunner adapts a backend to the METG sweep for the stencil
+// workload of Figures 2/3/6/7.
+func realRunner(name string, cfg RealConfig) (metg.Runner, error) {
+	rt, err := runtime.New(name)
+	if err != nil {
+		return nil, err
+	}
+	return func(iterations int64) core.RunStats {
+		g := core.MustNew(core.Params{
+			Timesteps:  cfg.Steps,
+			MaxWidth:   cfg.Width,
+			Dependence: core.Stencil1D,
+			Kernel:     kernels.Config{Type: kernels.ComputeBound, Iterations: iterations},
+		})
+		app := core.NewApp(g)
+		st, err := rt.Run(app)
+		if err != nil {
+			panic(fmt.Sprintf("harness: %s failed: %v", name, err))
+		}
+		return st
+	}, nil
+}
+
+// Fig6FlopsVsProblemSize measures Figure 6 (of which Figure 2 is the
+// MPI-only subset) on the real backends: achieved FLOP/s against
+// problem size for the stencil pattern on this host.
+func Fig6FlopsVsProblemSize(cfg RealConfig) (*Figure, error) {
+	fig := &Figure{
+		ID: "fig6", Title: "FLOP/s vs problem size (stencil, real backends)",
+		XLabel: "iterations per task", YLabel: "GFLOP/s", LogX: true,
+	}
+	iters := stats.GeomIters(cfg.MaxIters, 1, cfg.PerDoubling)
+	for _, name := range cfg.backends() {
+		run, err := realRunner(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Label: name}
+		for _, it := range iters {
+			st := run(it)
+			s.X = append(s.X, float64(it))
+			s.Y = append(s.Y, st.FlopsPerSecond()/1e9)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig7EfficiencyCurve measures Figure 7 (Figure 3 is the MPI subset):
+// the same sweep replotted as efficiency vs task granularity against
+// the host's calibrated peak.
+func Fig7EfficiencyCurve(cfg RealConfig) (*Figure, error) {
+	fig := &Figure{
+		ID: "fig7", Title: "efficiency vs task granularity (stencil, real backends)",
+		XLabel: "task granularity (ms)", YLabel: "efficiency", LogX: true,
+	}
+	cal := kernels.Calibrate()
+	iters := stats.GeomIters(cfg.MaxIters, 1, cfg.PerDoubling)
+	for _, name := range cfg.backends() {
+		run, err := realRunner(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		var workers int
+		points := metg.Curve(func(it int64) core.RunStats {
+			st := run(it)
+			workers = st.Workers
+			return st
+		}, iters, 0, 0) // efficiency filled below with per-run peaks
+		s := Series{Label: name}
+		for _, pt := range points {
+			if pt.Granularity <= 0 {
+				continue
+			}
+			peak := cal.FlopsPerSecondPerCore * float64(workers)
+			s.X = append(s.X, pt.Granularity.Seconds()*1e3)
+			s.Y = append(s.Y, pt.Stats.FlopsPerSecond()/peak)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig8MemoryBandwidth measures Figure 8: achieved B/s against problem
+// size with the memory-bound kernel at a constant working set.
+func Fig8MemoryBandwidth(cfg RealConfig) (*Figure, error) {
+	fig := &Figure{
+		ID: "fig8", Title: "B/s vs problem size (memory kernel, real backends)",
+		XLabel: "iterations per task", YLabel: "GB/s", LogX: true,
+	}
+	iters := stats.GeomIters(min64(cfg.MaxIters, 1<<10), 1, cfg.PerDoubling)
+	for _, name := range cfg.backends() {
+		rt, err := runtime.New(name)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Label: name}
+		for _, it := range iters {
+			g := core.MustNew(core.Params{
+				Timesteps:  cfg.Steps,
+				MaxWidth:   cfg.Width,
+				Dependence: core.Stencil1D,
+				Kernel: kernels.Config{
+					Type: kernels.MemoryBound, Iterations: it, SpanBytes: 1 << 14,
+				},
+				ScratchBytes: 4 << 20, // constant per-column working set
+			})
+			st, err := rt.Run(core.NewApp(g))
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s: %w", name, err)
+			}
+			s.X = append(s.X, float64(it))
+			s.Y = append(s.Y, st.BytesPerSecond()/1e9)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RealMETGRow is one backend's measured METG on this host.
+type RealMETGRow struct {
+	Backend string
+	METG    time.Duration
+	Found   bool
+}
+
+// RealMETG measures METG(50%) for each backend on this host with the
+// stencil workload — the host-scale analog of one point of Figure 9a.
+func RealMETG(cfg RealConfig) ([]RealMETGRow, error) {
+	cal := kernels.Calibrate()
+	var rows []RealMETGRow
+	for _, name := range cfg.backends() {
+		run, err := realRunner(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Peak must use the worker count the backend actually uses.
+		probe := run(1)
+		peak := cal.FlopsPerSecondPerCore * float64(probe.Workers)
+		m, _, ok := metg.Search(run, cfg.MaxIters, peak, 0, 0.5, cfg.PerDoubling)
+		rows = append(rows, RealMETGRow{Backend: name, METG: m, Found: ok})
+	}
+	return rows, nil
+}
+
+// RealMETGTable renders RealMETG results as markdown.
+func RealMETGTable(rows []RealMETGRow) string {
+	var cells [][]string
+	for _, r := range rows {
+		v := "above threshold not reached"
+		if r.Found {
+			v = r.METG.Round(100 * time.Nanosecond).String()
+		}
+		cells = append(cells, []string{r.Backend, v})
+	}
+	return Markdown([]string{"Backend", "METG(50%) on this host"}, cells)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

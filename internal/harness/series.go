@@ -1,0 +1,167 @@
+// Package harness turns the library's measurements into the paper's
+// tables and figures: it defines the experiment drivers for Figures
+// 2–13 and Tables 1–4, and renders their results as CSV files, ASCII
+// plots and markdown tables under a results directory.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Figure is a complete plot: several series over shared axes.
+type Figure struct {
+	ID     string // e.g. "fig9a"
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+// WriteCSV writes the figure as a long-format CSV (series,x,y).
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "series,%s,%s\n", csvEscape(f.XLabel), csvEscape(f.YLabel)); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Label), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SaveCSV writes the figure's CSV into dir as <ID>.csv.
+func (f *Figure) SaveCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	file, err := os.Create(filepath.Join(dir, f.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return f.WriteCSV(file)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Render draws the figure as an ASCII scatter plot, one rune per
+// series, with log axes where configured. It is deliberately simple:
+// enough to eyeball shapes (who wins, where lines cross) in a
+// terminal or in EXPERIMENTS.md.
+func (f *Figure) Render(w io.Writer, width, height int) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	tx := func(x float64) float64 {
+		if f.LogX && x > 0 {
+			return math.Log10(x)
+		}
+		return x
+	}
+	ty := func(y float64) float64 {
+		if f.LogY && y > 0 {
+			return math.Log10(y)
+		}
+		return y
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsInf(x, 0) || math.IsNaN(x) || math.IsInf(y, 0) || math.IsNaN(y) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		fmt.Fprintf(w, "%s: (no data)\n", f.Title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	marks := []rune("*o+x#@%&=~^!?:;abcdefgh")
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsInf(x, 0) || math.IsNaN(x) || math.IsInf(y, 0) || math.IsNaN(y) {
+				continue
+			}
+			c := int((x - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = mark
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "y: %s (%s)\n", f.YLabel, axisKind(f.LogY))
+	for _, row := range grid {
+		fmt.Fprintf(w, "| %s\n", string(row))
+	}
+	fmt.Fprintf(w, "+%s\n", strings.Repeat("-", width+1))
+	fmt.Fprintf(w, "x: %s (%s), [%.3g, %.3g]\n", f.XLabel, axisKind(f.LogX), untx(minX, f.LogX), untx(maxX, f.LogX))
+	for si, s := range f.Series {
+		fmt.Fprintf(w, "  %c %s\n", marks[si%len(marks)], s.Label)
+	}
+}
+
+func axisKind(log bool) string {
+	if log {
+		return "log"
+	}
+	return "linear"
+}
+
+func untx(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+// SortSeries orders the figure's series by label for stable output.
+func (f *Figure) SortSeries() {
+	sort.Slice(f.Series, func(i, j int) bool {
+		return f.Series[i].Label < f.Series[j].Label
+	})
+}

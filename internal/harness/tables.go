@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"taskbench/internal/core"
+	"taskbench/internal/runtime"
+	"taskbench/internal/sim"
+)
+
+// Markdown renders rows as a markdown table with the given header.
+func Markdown(header []string, rows [][]string) string {
+	var sb strings.Builder
+	sb.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(header)) + "\n")
+	for _, row := range rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// Table1 renders the paper's Table 1: the Task Bench parameter space
+// as implemented by this library's CLI.
+func Table1() string {
+	rows := [][]string{
+		{"-steps", "height of graph", "number of timesteps"},
+		{"-width", "width of graph", "degree of parallelism"},
+		{"-type", "trivial, stencil_1d, ...", "dependence relation"},
+		{"-radix", "count (nearest/spread/random)", "dependencies per task"},
+		{"-period", "count", "dependence sets cycled through"},
+		{"-fraction", "probability", "random_nearest edge density"},
+		{"-kernel", "compute_bound, memory_bound, ...", "type of kernel"},
+		{"-iter", "count", "task duration / problem size"},
+		{"-span", "bytes (memory kernel)", "bytes used per task per iteration"},
+		{"-scratch", "bytes", "total working set size per column"},
+		{"-imbalance", "factor in [0,1]", "degree of load imbalance"},
+		{"-persistent", "—", "imbalance is per-column, not per-task (extension)"},
+		{"-output", "bytes per dependency", "degree of communication"},
+		{"-and", "—", "start another concurrent task graph"},
+	}
+	return Markdown([]string{"Parameter", "Values", "Purpose"}, rows)
+}
+
+// Table2 renders the paper's Table 2: the dependence relations,
+// evaluated from the implementation itself on a width-16 graph so the
+// table can never drift from the code.
+func Table2() string {
+	width := 16
+	point := 8
+	var rows [][]string
+	for _, dep := range core.DependenceTypes() {
+		p := core.Params{Timesteps: 8, MaxWidth: width, Dependence: dep}
+		if dep == core.Nearest || dep == core.Spread || dep == core.RandomNearest {
+			p.Radix = 3
+		}
+		g := core.MustNew(p)
+		var cells []string
+		for _, ts := range []int{1, 2, 3} {
+			deps := g.DependenciesForPoint(ts, point)
+			cells = append(cells, fmt.Sprintf("%v", deps.Points()))
+		}
+		rows = append(rows, []string{dep.String(), cells[0], cells[1], cells[2]})
+	}
+	return Markdown([]string{"Pattern", "D(1, 8)", "D(2, 8)", "D(3, 8)"}, rows)
+}
+
+// Table3 renders the analog of the paper's Table 3: the runtime
+// backends implemented in this repository, from live registry
+// metadata.
+func Table3() string {
+	var rows [][]string
+	for _, name := range runtime.Names() {
+		rt, err := runtime.New(name)
+		if err != nil {
+			continue
+		}
+		info := rt.Info()
+		rows = append(rows, []string{
+			info.Name, info.Analog, info.Paradigm, info.Parallelism,
+			yesNo(info.Distributed), yesNo(info.Async),
+		})
+	}
+	return Markdown([]string{"Backend", "Models", "Paradigm", "Parallelism", "Distrib.", "Async"}, rows)
+}
+
+// Table4 renders the analog of the paper's Table 4: the simulator's
+// per-system overhead profiles (our equivalent of version/flag
+// configuration notes).
+func Table4() string {
+	var rows [][]string
+	for _, p := range sim.Profiles() {
+		rows = append(rows, []string{
+			p.Name,
+			p.TaskOverhead.String(),
+			p.DepOverhead.String(),
+			p.MsgOverhead.String(),
+			p.CentralGrant.String(),
+			fmt.Sprintf("%d", p.DedicatedCores),
+			yesNo(p.Async),
+			yesNo(p.WorkStealing),
+		})
+	}
+	return Markdown([]string{"Profile", "Task ovh", "Dep ovh", "Msg ovh",
+		"Central grant", "Dedicated cores", "Async", "Stealing"}, rows)
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,44 @@
+package kernels
+
+// Scratch is a task's persistent working set for the memory-bound
+// kernel. The paper allocates one scratch buffer per column of the task
+// graph; the buffer survives across timesteps so its total size — not
+// the per-task iteration count — determines cache behaviour.
+//
+// The buffer is kept as float64 words so the memory kernel streams
+// through it without per-access type conversion.
+type Scratch struct {
+	words []float64
+	pos   int
+}
+
+// NewScratch allocates a working set of approximately the given number
+// of bytes (rounded down to whole float64 words) and initializes it to
+// a non-trivial pattern so stores cannot be elided.
+func NewScratch(bytes int64) *Scratch {
+	n := int(bytes / 8)
+	if n < 0 {
+		n = 0
+	}
+	s := &Scratch{words: make([]float64, n)}
+	for i := range s.words {
+		s.words[i] = 1.0 + float64(i%97)/97.0
+	}
+	return s
+}
+
+// Bytes returns the size of the working set in bytes.
+func (s *Scratch) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	return int64(len(s.words)) * 8
+}
+
+// Reset rewinds the stream position to the start of the buffer. Tests
+// use it to make kernel runs reproducible.
+func (s *Scratch) Reset() {
+	if s != nil {
+		s.pos = 0
+	}
+}

@@ -1,0 +1,125 @@
+// Package metg implements the paper's central metric: minimum
+// effective task granularity (§4). METG(x%) for a workload is the
+// smallest average task granularity — wall time × cores ÷ tasks — at
+// which the workload still achieves at least x% of the machine's peak
+// performance. The efficiency constraint is what distinguishes METG
+// from raw tasks-per-second limit studies: it only counts
+// configurations that do useful work at an acceptable rate.
+//
+// The measurement procedure mirrors Figures 2 and 3: hold the machine
+// configuration fixed, repeatedly shrink the problem size (kernel
+// iteration count), replot the results as efficiency vs. task
+// granularity, and intersect the curve with the efficiency threshold.
+package metg
+
+import (
+	"time"
+
+	"taskbench/internal/core"
+	"taskbench/internal/stats"
+)
+
+// Runner executes the workload at a given per-task iteration count and
+// reports run statistics. Implementations wrap either a real runtime
+// backend or the cluster simulator.
+type Runner func(iterations int64) core.RunStats
+
+// Point is one measurement of the efficiency-vs-granularity curve.
+type Point struct {
+	// Iterations is the per-task kernel iteration count.
+	Iterations int64
+	// Granularity is wall time × cores ÷ tasks.
+	Granularity time.Duration
+	// Efficiency is achieved ÷ peak throughput (0..1).
+	Efficiency float64
+	// Stats is the full run record.
+	Stats core.RunStats
+}
+
+// Curve measures the workload at each iteration count (pass them in
+// descending order for the paper's shrinking-problem-size procedure)
+// and converts the results into (granularity, efficiency) points.
+func Curve(run Runner, iterations []int64, peakFlops, peakBytes float64) []Point {
+	points := make([]Point, 0, len(iterations))
+	for _, it := range iterations {
+		st := run(it)
+		points = append(points, Point{
+			Iterations:  it,
+			Granularity: st.TaskGranularity(),
+			Efficiency:  st.Efficiency(peakFlops, peakBytes),
+			Stats:       st,
+		})
+	}
+	return points
+}
+
+// METG extracts the minimum effective task granularity at the given
+// efficiency threshold from a curve measured with shrinking problem
+// sizes. It returns the granularity at which the curve crosses the
+// threshold, log-interpolated between the two bracketing points — the
+// red dashed intersection of Figure 3. The boolean is false if the
+// curve never reaches the threshold at all.
+//
+// If every point is above the threshold the curve never crosses; the
+// smallest granularity observed is returned as a (conservative) upper
+// bound, matching how the paper reports systems whose asymptote lies
+// above 50%.
+func METG(points []Point, threshold float64) (time.Duration, bool) {
+	best := time.Duration(0)
+	found := false
+	for _, p := range points {
+		if p.Efficiency >= threshold && p.Granularity > 0 {
+			if !found || p.Granularity < best {
+				best = p.Granularity
+				found = true
+			}
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	// Refine with the crossing between adjacent points when available.
+	for k := 0; k+1 < len(points); k++ {
+		a, b := points[k], points[k+1]
+		if a.Efficiency >= threshold && b.Efficiency < threshold &&
+			a.Granularity > 0 && b.Granularity > 0 {
+			x := stats.InterpLogX(
+				float64(a.Granularity), a.Efficiency,
+				float64(b.Granularity), b.Efficiency,
+				threshold)
+			cross := time.Duration(x)
+			if cross < best {
+				best = cross
+			}
+			break
+		}
+	}
+	return best, true
+}
+
+// Search runs the complete METG procedure: sweep iteration counts
+// geometrically downward from startIters until efficiency drops well
+// below the threshold (or the iteration count reaches 1), then extract
+// METG. It returns the metg value, the measured curve, and whether the
+// threshold was ever met.
+func Search(run Runner, startIters int64, peakFlops, peakBytes float64, threshold float64, perDoubling int) (time.Duration, []Point, bool) {
+	iters := stats.GeomIters(startIters, 1, perDoubling)
+	var points []Point
+	for _, it := range iters {
+		st := run(it)
+		p := Point{
+			Iterations:  it,
+			Granularity: st.TaskGranularity(),
+			Efficiency:  st.Efficiency(peakFlops, peakBytes),
+			Stats:       st,
+		}
+		points = append(points, p)
+		// Stop once the curve is clearly below the threshold: the
+		// crossing is bracketed and smaller problems only waste time.
+		if p.Efficiency < threshold*0.5 && len(points) >= 2 {
+			break
+		}
+	}
+	m, ok := METG(points, threshold)
+	return m, points, ok
+}

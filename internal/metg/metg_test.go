@@ -1,0 +1,139 @@
+package metg
+
+import (
+	"testing"
+	"time"
+
+	"taskbench/internal/core"
+)
+
+// syntheticRunner models a runtime with a fixed per-task overhead: a
+// task of duration d achieves efficiency d/(d+overhead). This is the
+// idealized curve of Figure 3.
+func syntheticRunner(overhead time.Duration, tasks int64, peak float64) Runner {
+	return func(iterations int64) core.RunStats {
+		perTask := time.Duration(iterations) * time.Microsecond // 1 µs per iteration
+		elapsed := time.Duration(tasks) * (perTask + overhead)
+		return core.RunStats{
+			Elapsed: elapsed,
+			Tasks:   tasks,
+			Flops:   float64(iterations) * float64(tasks) * peak / 1e6 * float64(time.Microsecond) / float64(time.Second) * 1e6,
+			Workers: 1,
+		}
+	}
+}
+
+// flopsRunner builds a runner whose efficiency is exactly
+// work/(work+overhead) against peak=1.
+func flopsRunner(overhead time.Duration, tasks int64) Runner {
+	return func(iterations int64) core.RunStats {
+		work := time.Duration(iterations) * time.Microsecond
+		elapsed := time.Duration(tasks) * (work + overhead)
+		return core.RunStats{
+			Elapsed: elapsed,
+			Tasks:   tasks,
+			// Useful work in "flop" units: 1 flop per second of work
+			// against a peak of 1 flop/s.
+			Flops:   work.Seconds() * float64(tasks),
+			Workers: 1,
+		}
+	}
+}
+
+func TestMETGMatchesOverhead(t *testing.T) {
+	// With efficiency = work/(work+ovh), 50% efficiency is exactly at
+	// work = overhead, so granularity there is 2×overhead... but METG
+	// is defined on granularity = wall×cores/tasks = work+ovh, i.e.
+	// 2×overhead at the 50% point.
+	overhead := 100 * time.Microsecond
+	run := flopsRunner(overhead, 100)
+	m, points, ok := Search(run, 1<<20, 1.0, 0, 0.5, 2)
+	if !ok {
+		t.Fatalf("METG not found; curve: %+v", points)
+	}
+	want := 2 * overhead
+	ratio := float64(m) / float64(want)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("METG = %v, want ≈ %v (ratio %.2f)", m, want, ratio)
+	}
+}
+
+func TestMETGOrdering(t *testing.T) {
+	// A runtime with 10× the overhead must have ≈10× the METG.
+	fast, _, ok1 := Search(flopsRunner(10*time.Microsecond, 50), 1<<20, 1.0, 0, 0.5, 2)
+	slow, _, ok2 := Search(flopsRunner(100*time.Microsecond, 50), 1<<20, 1.0, 0, 0.5, 2)
+	if !ok1 || !ok2 {
+		t.Fatal("METG not found")
+	}
+	ratio := float64(slow) / float64(fast)
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("slow/fast METG ratio = %.1f, want ≈ 10", ratio)
+	}
+}
+
+func TestMETGNotFound(t *testing.T) {
+	// A runtime so slow it never reaches 50%.
+	run := func(iterations int64) core.RunStats {
+		return core.RunStats{
+			Elapsed: time.Hour,
+			Tasks:   10,
+			Flops:   1, // negligible vs peak
+			Workers: 1,
+		}
+	}
+	if _, _, ok := Search(run, 1<<10, 1e12, 0, 0.5, 1); ok {
+		t.Error("Search claimed to find METG for a hopeless runtime")
+	}
+}
+
+func TestMETGAllAboveThreshold(t *testing.T) {
+	points := []Point{
+		{Granularity: 10 * time.Millisecond, Efficiency: 0.99},
+		{Granularity: 1 * time.Millisecond, Efficiency: 0.90},
+		{Granularity: 100 * time.Microsecond, Efficiency: 0.80},
+	}
+	m, ok := METG(points, 0.5)
+	if !ok || m != 100*time.Microsecond {
+		t.Errorf("METG = %v, %v; want upper bound 100µs, true", m, ok)
+	}
+}
+
+func TestMETGInterpolatesCrossing(t *testing.T) {
+	points := []Point{
+		{Granularity: 1 * time.Millisecond, Efficiency: 1.0},
+		{Granularity: 100 * time.Microsecond, Efficiency: 0.6},
+		{Granularity: 10 * time.Microsecond, Efficiency: 0.2},
+	}
+	m, ok := METG(points, 0.5)
+	if !ok {
+		t.Fatal("crossing not found")
+	}
+	if m >= 100*time.Microsecond || m <= 10*time.Microsecond {
+		t.Errorf("METG = %v, want between 10µs and 100µs", m)
+	}
+}
+
+func TestMETGEmptyCurve(t *testing.T) {
+	if _, ok := METG(nil, 0.5); ok {
+		t.Error("METG on empty curve reported success")
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	run := flopsRunner(50*time.Microsecond, 20)
+	points := Curve(run, []int64{1 << 16, 1 << 12, 1 << 8, 1 << 4}, 1.0, 0)
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Efficiency must be non-increasing as problems shrink.
+	for k := 1; k < len(points); k++ {
+		if points[k].Efficiency > points[k-1].Efficiency+1e-9 {
+			t.Errorf("efficiency increased from %v to %v as problem shrank",
+				points[k-1].Efficiency, points[k].Efficiency)
+		}
+	}
+	// Granularity shrinks too.
+	if points[len(points)-1].Granularity >= points[0].Granularity {
+		t.Error("granularity did not shrink with problem size")
+	}
+}

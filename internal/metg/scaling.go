@@ -1,0 +1,37 @@
+package metg
+
+import "time"
+
+// This file implements the paper's §4 relationship between METG and
+// the quantities application developers actually care about: the
+// smallest problem that weak-scales, and the node count at which
+// strong scaling stops paying off.
+
+// WeakScalingFloor returns the smallest per-task granularity that can
+// be weak-scaled to the given node count at the target efficiency: by
+// definition (§4), exactly METG at that node count. metgAt reports
+// METG(threshold) as a function of node count.
+func WeakScalingFloor(metgAt func(nodes int) time.Duration, nodes int) time.Duration {
+	return metgAt(nodes)
+}
+
+// StrongScalingLimit returns the largest node count (≤ maxNodes,
+// scanned in powers of two) at which a workload whose task granularity
+// is granularityAtOne on a single node still runs at the target
+// efficiency. Strong scaling divides the same total work over more
+// cores, so granularity shrinks as 1/nodes; scaling stops where the
+// shrinking granularity crosses the (typically rising) METG curve —
+// the paper's worked example is a 2^18 problem strong-scaling to 64
+// nodes (§4, Figure 5).
+func StrongScalingLimit(granularityAtOne time.Duration, metgAt func(nodes int) time.Duration, maxNodes int) int {
+	limit := 0
+	for nodes := 1; nodes <= maxNodes; nodes *= 2 {
+		granularity := granularityAtOne / time.Duration(nodes)
+		if granularity >= metgAt(nodes) {
+			limit = nodes
+		} else {
+			break
+		}
+	}
+	return limit
+}

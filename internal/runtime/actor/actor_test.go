@@ -1,0 +1,19 @@
+package actor
+
+import (
+	"testing"
+
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "actor")
+}
+
+func TestRepeat(t *testing.T) {
+	runtimetest.Repeat(t, "actor", 5)
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "actor")
+}

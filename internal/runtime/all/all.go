@@ -1,0 +1,23 @@
+// Package all registers every runtime backend. Import it for side
+// effects wherever the full registry is needed (the CLI tools, the
+// figure harness, and the top-level benchmarks).
+package all
+
+import (
+	_ "taskbench/internal/runtime/actor"
+	_ "taskbench/internal/runtime/bsp"
+	_ "taskbench/internal/runtime/central"
+	_ "taskbench/internal/runtime/coforall"
+	_ "taskbench/internal/runtime/dataflow"
+	_ "taskbench/internal/runtime/dtd"
+	_ "taskbench/internal/runtime/events"
+	_ "taskbench/internal/runtime/graphexec"
+	_ "taskbench/internal/runtime/hybrid"
+	_ "taskbench/internal/runtime/p2p"
+	_ "taskbench/internal/runtime/places"
+	_ "taskbench/internal/runtime/ptg"
+	_ "taskbench/internal/runtime/serial"
+	_ "taskbench/internal/runtime/steal"
+	_ "taskbench/internal/runtime/taskpool"
+	_ "taskbench/internal/runtime/tcp"
+)

@@ -1,0 +1,120 @@
+// Package bsp implements the MPI bulk-synchronous analog: like p2p,
+// but every timestep ends with a global barrier that enforces the
+// boundary between the communication and computation phases (paper
+// §3.4, "bulk synchronous implementation which enforces the boundary
+// ... with MPI_Barrier"). The barrier is pure overhead relative to
+// p2p and couples every rank to the slowest one — the structural
+// reason MPI suffers most under load imbalance (paper §5.7).
+package bsp
+
+import (
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+)
+
+func init() {
+	runtime.Register("bsp", func() runtime.Runtime { return rt{} })
+}
+
+type rt struct{}
+
+func (rt) Name() string { return "bsp" }
+
+func (rt) Info() runtime.Info {
+	return runtime.Info{
+		Name:        "bsp",
+		Analog:      "MPI bulk sync",
+		Paradigm:    "message passing",
+		Parallelism: "explicit",
+		Distributed: true,
+		Async:       false,
+		Notes:       "global barrier per timestep between compute and communication phases",
+	}
+}
+
+func (rt) Run(app *core.App) (core.RunStats, error) {
+	ranks := exec.WorkersFor(app)
+	fabric := exec.NewFabric(app, ranks)
+	barrier := exec.NewBarrier(ranks)
+	var firstErr exec.ErrOnce
+	return exec.Measure(app, ranks, func() error {
+		done := make(chan struct{})
+		for r := 0; r < ranks; r++ {
+			go func(rank int) {
+				defer func() { done <- struct{}{} }()
+				runRank(app, fabric, barrier, rank, ranks, &firstErr)
+			}(r)
+		}
+		for r := 0; r < ranks; r++ {
+			<-done
+		}
+		return firstErr.Err()
+	})
+}
+
+type rankState struct {
+	g       *core.Graph
+	span    exec.Span
+	rows    *exec.Rows
+	scratch []*kernels.Scratch
+}
+
+func runRank(app *core.App, fabric *exec.Fabric, barrier *exec.Barrier, rank, ranks int, firstErr *exec.ErrOnce) {
+	states := make([]*rankState, len(app.Graphs))
+	maxSteps := 0
+	for gi, g := range app.Graphs {
+		span := exec.BlockAssign(g.MaxWidth, ranks)[rank]
+		st := &rankState{g: g, span: span, rows: exec.NewRows(g.MaxWidth, g.OutputBytes)}
+		st.scratch = make([]*kernels.Scratch, g.MaxWidth)
+		for i := span.Lo; i < span.Hi; i++ {
+			st.scratch[i] = kernels.NewScratch(g.ScratchBytes)
+		}
+		states[gi] = st
+		if g.Timesteps > maxSteps {
+			maxSteps = g.Timesteps
+		}
+	}
+
+	var inputs [][]byte
+	for t := 0; t < maxSteps; t++ {
+		// Phase 1: receive and compute every owned task of the step.
+		for gi, st := range states {
+			g := st.g
+			if t >= g.Timesteps {
+				continue
+			}
+			off := g.OffsetAtTimestep(t)
+			w := g.WidthAtTimestep(t)
+			lo := max(st.span.Lo, off)
+			hi := min(st.span.Hi, off+w)
+			for i := lo; i < hi; i++ {
+				inputs = fabric.GatherRankInputs(gi, g, t, i, st.span, st.rows.Prev, inputs)
+				out := st.rows.Cur(i)
+				err := g.ExecutePoint(t, i, out, inputs, st.scratch[i], app.Validate && !firstErr.Failed())
+				if err != nil {
+					firstErr.Set(err)
+					g.WriteOutput(t, i, out)
+				}
+			}
+		}
+		// Phase 2: communicate every output produced in the step.
+		for gi, st := range states {
+			g := st.g
+			if t >= g.Timesteps {
+				continue
+			}
+			off := g.OffsetAtTimestep(t)
+			w := g.WidthAtTimestep(t)
+			lo := max(st.span.Lo, off)
+			hi := min(st.span.Hi, off+w)
+			for i := lo; i < hi; i++ {
+				fabric.SendRemoteOutputs(gi, g, t, i, st.rows.Cur(i))
+			}
+			st.rows.Flip()
+		}
+		// Phase 3: global barrier.
+		barrier.Wait()
+	}
+}

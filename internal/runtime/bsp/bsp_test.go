@@ -1,0 +1,19 @@
+package bsp
+
+import (
+	"testing"
+
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "bsp")
+}
+
+func TestRepeat(t *testing.T) {
+	runtimetest.Repeat(t, "bsp", 5)
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "bsp")
+}

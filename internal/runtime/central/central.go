@@ -1,0 +1,126 @@
+// Package central implements the centralized-controller analog of
+// Spark and Dask (paper §3.3, §3.11): a single controller goroutine
+// owns the entire scheduling state — dependence counters and the ready
+// list — and workers round-trip to it for every task grant and every
+// completion notification. The controller is a throughput bottleneck
+// that grows with the number of workers, which is why the paper's
+// Figure 9 shows Spark's METG rising immediately with node count.
+package central
+
+import (
+	"sync"
+
+	"taskbench/internal/core"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+)
+
+func init() {
+	runtime.Register("central", func() runtime.Runtime { return rt{} })
+}
+
+type rt struct{}
+
+func (rt) Name() string { return "central" }
+
+func (rt) Info() runtime.Info {
+	return runtime.Info{
+		Name:        "central",
+		Analog:      "Spark / Dask",
+		Paradigm:    "centralized task scheduling",
+		Parallelism: "implicit",
+		Distributed: true,
+		Async:       true,
+		Notes:       "single controller grants every task; workers round-trip per task",
+	}
+}
+
+// request is a worker asking the controller for its next task.
+type request struct {
+	completed int32 // task the worker just finished, or -1
+	reply     chan int32
+}
+
+func (rt) Run(app *core.App) (core.RunStats, error) {
+	workers := exec.WorkersFor(app)
+	var firstErr exec.ErrOnce
+	return exec.Measure(app, workers, func() error {
+		plan := exec.BuildPlan(app)
+		pools := exec.NewPools(app)
+		out := make([]*exec.Buf, len(plan.Tasks))
+
+		requests := make(chan request)
+		var wg sync.WaitGroup
+
+		// The controller: the only goroutine that touches scheduling
+		// state, mirroring the Spark driver.
+		go func() {
+			ready := append([]int32(nil), plan.Seeds...)
+			remaining := plan.TaskCount()
+			var waiting []chan int32
+			grant := func() {
+				for len(waiting) > 0 && len(ready) > 0 {
+					reply := waiting[0]
+					waiting = waiting[1:]
+					id := ready[0]
+					ready = ready[1:]
+					reply <- id
+				}
+			}
+			for remaining > 0 {
+				req := <-requests
+				if req.completed >= 0 {
+					remaining--
+					for _, cons := range plan.Tasks[req.completed].Consumers {
+						// Counters are owned by the controller; no
+						// atomicity needed, but the field is atomic
+						// for plan reuse across backends.
+						if plan.Tasks[cons].Counter.Add(-1) == 0 {
+							ready = append(ready, cons)
+						}
+					}
+				}
+				if req.reply != nil {
+					waiting = append(waiting, req.reply)
+				}
+				grant()
+			}
+			// Drain: tell every waiting worker to exit, then keep
+			// answering until all workers have gone.
+			for _, reply := range waiting {
+				reply <- -1
+			}
+			for req := range requests {
+				if req.reply != nil {
+					req.reply <- -1
+				}
+			}
+		}()
+
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				reply := make(chan int32, 1)
+				last := int32(-1)
+				var inputs [][]byte
+				for {
+					requests <- request{completed: last, reply: reply}
+					id := <-reply
+					if id < 0 {
+						return
+					}
+					var err error
+					inputs, err = plan.Execute(id, out, pools, app.Validate && !firstErr.Failed(), inputs)
+					if err != nil {
+						firstErr.Set(err)
+					}
+					last = id
+				}
+			}()
+		}
+		wg.Wait()
+		close(requests)
+		return firstErr.Err()
+	})
+}

@@ -1,0 +1,19 @@
+package central
+
+import (
+	"testing"
+
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "central")
+}
+
+func TestRepeat(t *testing.T) {
+	runtimetest.Repeat(t, "central", 5)
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "central")
+}

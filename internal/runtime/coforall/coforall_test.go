@@ -1,0 +1,19 @@
+package coforall
+
+import (
+	"testing"
+
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "coforall")
+}
+
+func TestRepeat(t *testing.T) {
+	runtimetest.Repeat(t, "coforall", 5)
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "coforall")
+}

@@ -1,0 +1,161 @@
+// Package dtd implements the PaRSEC dynamic-task-discovery / StarPU
+// sequential-task-flow analog (paper §3.8, §3.12). The program is
+// executed in SPMD fashion: every rank enumerates EVERY task of the
+// graph in program order and dynamically checks, task by task, whether
+// the task is local or communicates with local data. These dynamic
+// checks scale with the total graph width and are the scalability
+// bottleneck the paper highlights (§5.4).
+//
+// The package registers two backends:
+//
+//   - "dtd": full SPMD enumeration with per-task dynamic checks.
+//   - "shard": the paper's manually optimized variant that skips
+//     enumeration of tasks that cannot touch local data, completely
+//     eliminating the dynamic checks.
+package dtd
+
+import (
+	"sync/atomic"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+)
+
+func init() {
+	runtime.Register("dtd", func() runtime.Runtime { return rt{shard: false} })
+	runtime.Register("shard", func() runtime.Runtime { return rt{shard: true} })
+}
+
+type rt struct {
+	shard bool
+}
+
+func (r rt) Name() string {
+	if r.shard {
+		return "shard"
+	}
+	return "dtd"
+}
+
+func (r rt) Info() runtime.Info {
+	if r.shard {
+		return runtime.Info{
+			Name:        "shard",
+			Analog:      "PaRSEC shard",
+			Paradigm:    "task-based (manually sharded DTD)",
+			Parallelism: "implicit",
+			Distributed: true,
+			Async:       false,
+			Notes:       "enumerates only tasks adjacent to owned columns; no dynamic checks",
+		}
+	}
+	return runtime.Info{
+		Name:        "dtd",
+		Analog:      "PaRSEC DTD / StarPU STF",
+		Paradigm:    "task-based (dynamic task discovery)",
+		Parallelism: "implicit",
+		Distributed: true,
+		Async:       false,
+		Notes:       "SPMD enumeration of the whole graph with per-task dynamic checks",
+	}
+}
+
+// checkSink keeps the dynamic-check work observable so the compiler
+// cannot elide it.
+var checkSink atomic.Int64
+
+func (r rt) Run(app *core.App) (core.RunStats, error) {
+	ranks := exec.WorkersFor(app)
+	fabric := exec.NewFabric(app, ranks)
+	var firstErr exec.ErrOnce
+	return exec.Measure(app, ranks, func() error {
+		done := make(chan struct{})
+		for rank := 0; rank < ranks; rank++ {
+			go func(rank int) {
+				defer func() { done <- struct{}{} }()
+				r.runRank(app, fabric, rank, ranks, &firstErr)
+			}(rank)
+		}
+		for rank := 0; rank < ranks; rank++ {
+			<-done
+		}
+		return firstErr.Err()
+	})
+}
+
+type rankState struct {
+	g       *core.Graph
+	span    exec.Span
+	rows    *exec.Rows
+	scratch []*kernels.Scratch
+}
+
+func (r rt) runRank(app *core.App, fabric *exec.Fabric, rank, ranks int, firstErr *exec.ErrOnce) {
+	states := make([]*rankState, len(app.Graphs))
+	maxSteps := 0
+	for gi, g := range app.Graphs {
+		span := exec.BlockAssign(g.MaxWidth, ranks)[rank]
+		st := &rankState{g: g, span: span, rows: exec.NewRows(g.MaxWidth, g.OutputBytes)}
+		st.scratch = make([]*kernels.Scratch, g.MaxWidth)
+		for i := span.Lo; i < span.Hi; i++ {
+			st.scratch[i] = kernels.NewScratch(g.ScratchBytes)
+		}
+		states[gi] = st
+		if g.Timesteps > maxSteps {
+			maxSteps = g.Timesteps
+		}
+	}
+
+	var inputs [][]byte
+	var checks int64
+	for t := 0; t < maxSteps; t++ {
+		for gi, st := range states {
+			g := st.g
+			if t >= g.Timesteps {
+				continue
+			}
+			off := g.OffsetAtTimestep(t)
+			w := g.WidthAtTimestep(t)
+
+			// Task discovery. DTD walks the full width; shard walks
+			// only the owned block (plus nothing else — its sends are
+			// discovered from the owned side via reverse deps).
+			lo, hi := off, off+w
+			if r.shard {
+				lo = max(st.span.Lo, off)
+				hi = min(st.span.Hi, off+w)
+			}
+			for i := lo; i < hi; i++ {
+				owned := i >= st.span.Lo && i < st.span.Hi
+				if !owned {
+					// Dynamic check: would this remote task exchange
+					// data with any column this rank owns? This scan
+					// is the per-task cost that grows with graph
+					// width and rank count.
+					touches := false
+					g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+						if dep >= st.span.Lo && dep < st.span.Hi {
+							touches = true
+						}
+					})
+					if touches {
+						checks++
+					}
+					continue
+				}
+				inputs = fabric.GatherRankInputs(gi, g, t, i, st.span, st.rows.Prev, inputs)
+				out := st.rows.Cur(i)
+				err := g.ExecutePoint(t, i, out, inputs, st.scratch[i], app.Validate && !firstErr.Failed())
+				if err != nil {
+					firstErr.Set(err)
+					g.WriteOutput(t, i, out)
+				}
+				fabric.SendRemoteOutputs(gi, g, t, i, out)
+			}
+			st.rows.Flip()
+		}
+	}
+	checkSink.Add(checks)
+}

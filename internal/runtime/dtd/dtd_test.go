@@ -1,0 +1,46 @@
+package dtd
+
+import (
+	"testing"
+
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformanceDTD(t *testing.T) {
+	runtimetest.Conformance(t, "dtd")
+}
+
+func TestConformanceShard(t *testing.T) {
+	runtimetest.Conformance(t, "shard")
+}
+
+func TestRepeatDTD(t *testing.T) {
+	runtimetest.Repeat(t, "dtd", 3)
+}
+
+func TestRepeatShard(t *testing.T) {
+	runtimetest.Repeat(t, "shard", 3)
+}
+
+func TestInfoDistinguishesVariants(t *testing.T) {
+	d, err := runtime.New("dtd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := runtime.New("shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() == s.Name() || d.Info().Analog == s.Info().Analog {
+		t.Errorf("dtd and shard are not distinguished: %+v vs %+v", d.Info(), s.Info())
+	}
+}
+
+func TestFaultInjectionDTD(t *testing.T) {
+	runtimetest.FaultInjection(t, "dtd")
+}
+
+func TestFaultInjectionShard(t *testing.T) {
+	runtimetest.FaultInjection(t, "shard")
+}

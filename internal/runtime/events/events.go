@@ -1,0 +1,152 @@
+// Package events implements the Realm analog (paper §3.9): tasks are
+// asynchronous, and dependencies are expressed as first-class events
+// passed from producers to consumers. Each task owns a completion
+// event; a task is enqueued for execution when the events of all its
+// inputs have triggered. The whole event graph is wired up front,
+// modeling Realm's subgraph optimization, and execution is fully
+// asynchronous across timesteps and graphs.
+package events
+
+import (
+	"sync"
+
+	"taskbench/internal/core"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+)
+
+func init() {
+	runtime.Register("events", func() runtime.Runtime { return rt{} })
+}
+
+type rt struct{}
+
+func (rt) Name() string { return "events" }
+
+func (rt) Info() runtime.Info {
+	return runtime.Info{
+		Name:        "events",
+		Analog:      "Realm",
+		Paradigm:    "task-based (event-driven)",
+		Parallelism: "explicit",
+		Distributed: false,
+		Async:       true,
+		Notes:       "first-class completion events; event graph wired up front (subgraph API)",
+	}
+}
+
+// Event is a one-shot trigger with subscriber callbacks, the core
+// synchronization primitive of Realm.
+type Event struct {
+	mu        sync.Mutex
+	triggered bool
+	subs      []func()
+}
+
+// Subscribe registers fn to run when the event triggers. If the event
+// already triggered, fn runs immediately.
+func (e *Event) Subscribe(fn func()) {
+	e.mu.Lock()
+	if e.triggered {
+		e.mu.Unlock()
+		fn()
+		return
+	}
+	e.subs = append(e.subs, fn)
+	e.mu.Unlock()
+}
+
+// Trigger fires the event exactly once, running all subscribers.
+func (e *Event) Trigger() {
+	e.mu.Lock()
+	if e.triggered {
+		e.mu.Unlock()
+		return
+	}
+	e.triggered = true
+	subs := e.subs
+	e.subs = nil
+	e.mu.Unlock()
+	for _, fn := range subs {
+		fn()
+	}
+}
+
+func (rt) Run(app *core.App) (core.RunStats, error) {
+	workers := exec.WorkersFor(app)
+	var firstErr exec.ErrOnce
+	return exec.Measure(app, workers, func() error {
+		plan := exec.BuildPlan(app)
+		pools := exec.NewPools(app)
+		out := make([]*exec.Buf, len(plan.Tasks))
+		total := plan.TaskCount()
+
+		// ready is large enough to hold every task, so Trigger
+		// callbacks never block.
+		ready := make(chan int32, total)
+		events := make([]*Event, len(plan.Tasks))
+		for id := range plan.Tasks {
+			if plan.Tasks[id].Exists {
+				events[id] = &Event{}
+			}
+		}
+		// Wire the event graph: each task subscribes to the completion
+		// events of its scheduling predecessors via a countdown.
+		for id := range plan.Tasks {
+			task := &plan.Tasks[id]
+			if !task.Exists {
+				continue
+			}
+			id32 := int32(id)
+			n := task.Counter.Load()
+			if n == 0 {
+				ready <- id32
+				continue
+			}
+			countdown := func() {
+				if task.Counter.Add(-1) == 0 {
+					ready <- id32
+				}
+			}
+			for _, prodID := range task.Inputs {
+				events[prodID].Subscribe(countdown)
+			}
+			// Scratch-serialization edges are scheduling-only
+			// predecessors not present in Inputs.
+			extra := int(n) - len(task.Inputs)
+			if extra > 0 {
+				prev := plan.ID(int(task.Graph), int(task.T)-1, int(task.I))
+				for k := 0; k < extra; k++ {
+					events[prev].Subscribe(countdown)
+				}
+			}
+		}
+
+		var done sync.WaitGroup
+		done.Add(int(total))
+		go func() {
+			done.Wait()
+			close(ready)
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var inputs [][]byte
+				for id := range ready {
+					var err error
+					inputs, err = plan.Execute(id, out, pools, app.Validate && !firstErr.Failed(), inputs)
+					if err != nil {
+						firstErr.Set(err)
+					}
+					events[id].Trigger()
+					done.Done()
+				}
+			}()
+		}
+		wg.Wait()
+		return firstErr.Err()
+	})
+}

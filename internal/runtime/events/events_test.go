@@ -1,0 +1,48 @@
+package events
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "events")
+}
+
+func TestRepeat(t *testing.T) {
+	runtimetest.Repeat(t, "events", 5)
+}
+
+func TestEventSubscribeBeforeTrigger(t *testing.T) {
+	var e Event
+	var fired atomic.Int32
+	e.Subscribe(func() { fired.Add(1) })
+	if fired.Load() != 0 {
+		t.Error("subscriber ran before trigger")
+	}
+	e.Trigger()
+	if fired.Load() != 1 {
+		t.Errorf("fired = %d, want 1", fired.Load())
+	}
+	// Triggering again is a no-op.
+	e.Trigger()
+	if fired.Load() != 1 {
+		t.Errorf("double trigger fired = %d, want 1", fired.Load())
+	}
+}
+
+func TestEventSubscribeAfterTrigger(t *testing.T) {
+	var e Event
+	e.Trigger()
+	var fired atomic.Int32
+	e.Subscribe(func() { fired.Add(1) })
+	if fired.Load() != 1 {
+		t.Errorf("late subscriber fired = %d, want 1 (immediate)", fired.Load())
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "events")
+}

@@ -1,0 +1,280 @@
+// Package exec provides the small shared substrate used by every
+// runtime backend: worker accounting, block distribution of columns
+// over ranks, first-error capture, a cyclic barrier, an unbounded
+// mailbox, and double-buffered payload rows. Keeping these here keeps
+// each backend focused on its scheduling paradigm, mirroring how the
+// paper's core library absorbs everything shared between systems.
+package exec
+
+import (
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"taskbench/internal/core"
+)
+
+// WorkersFor picks the worker count for an app: the explicit setting
+// if present, otherwise one worker per available CPU, capped at the
+// total graph width so trivially small graphs do not spawn idle
+// workers.
+func WorkersFor(app *core.App) int {
+	w := app.Workers
+	if w <= 0 {
+		w = stdruntime.GOMAXPROCS(0)
+	}
+	maxWidth := 0
+	for _, g := range app.Graphs {
+		maxWidth += g.MaxWidth
+	}
+	if maxWidth > 0 && w > maxWidth {
+		w = maxWidth
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Measure runs body, filling in the timing fields of the app's
+// statistics. workers is recorded for task-granularity computation.
+func Measure(app *core.App, workers int, body func() error) (core.RunStats, error) {
+	stats := core.StatsFor(app)
+	stats.Workers = workers
+	start := time.Now()
+	err := body()
+	stats.Elapsed = time.Since(start)
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	return stats, nil
+}
+
+// ErrOnce records the first error reported by any worker and exposes a
+// cheap cancellation check so workers can abandon work early.
+type ErrOnce struct {
+	failed atomic.Bool
+	once   sync.Once
+	err    error
+}
+
+// Set records err if it is the first failure.
+func (e *ErrOnce) Set(err error) {
+	if err == nil {
+		return
+	}
+	e.once.Do(func() {
+		e.err = err
+		e.failed.Store(true)
+	})
+}
+
+// Failed reports whether any error has been recorded.
+func (e *ErrOnce) Failed() bool { return e.failed.Load() }
+
+// Err returns the recorded error, if any.
+func (e *ErrOnce) Err() error {
+	if e.failed.Load() {
+		return e.err
+	}
+	return nil
+}
+
+// Span is a contiguous block of columns owned by one rank.
+type Span struct {
+	Lo int // first column (inclusive)
+	Hi int // last column (exclusive)
+}
+
+// Len returns the number of columns in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// BlockAssign distributes width columns over ranks contiguous blocks,
+// the distribution every distributed backend (and the paper's MPI
+// implementation) uses. Earlier ranks receive the remainder.
+func BlockAssign(width, ranks int) []Span {
+	if ranks < 1 {
+		ranks = 1
+	}
+	spans := make([]Span, ranks)
+	base := width / ranks
+	rem := width % ranks
+	lo := 0
+	for r := 0; r < ranks; r++ {
+		n := base
+		if r < rem {
+			n++
+		}
+		spans[r] = Span{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return spans
+}
+
+// OwnerOf returns the rank owning column i under BlockAssign.
+func OwnerOf(i, width, ranks int) int {
+	if ranks < 1 {
+		return 0
+	}
+	base := width / ranks
+	rem := width % ranks
+	// The first rem ranks own base+1 columns.
+	cut := rem * (base + 1)
+	if i < cut {
+		return i / (base + 1)
+	}
+	if base == 0 {
+		return ranks - 1
+	}
+	return rem + (i-cut)/base
+}
+
+// Barrier is a reusable cyclic barrier for bulk-synchronous backends.
+type Barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	round  int
+	broken bool
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants arrive. If Break has been
+// called, Wait returns false immediately (and releases all waiters),
+// letting bulk-synchronous workers unwind after an error.
+func (b *Barrier) Wait() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return false
+	}
+	round := b.round
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.round++
+		b.cond.Broadcast()
+		return true
+	}
+	for b.round == round && !b.broken {
+		b.cond.Wait()
+	}
+	return !b.broken
+}
+
+// Break permanently releases the barrier; all current and future
+// waiters return false.
+func (b *Barrier) Break() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Mailbox is an unbounded multi-producer single-consumer queue, the
+// message substrate of the actor backend (Charm++ chares have
+// unbounded message queues, so sends must never block or deadlock).
+type Mailbox[M any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []M
+	closed bool
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox[M any]() *Mailbox[M] {
+	m := &Mailbox[M]{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Send enqueues a message. Send never blocks.
+func (m *Mailbox[M]) Send(msg M) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// Recv dequeues the next message, blocking until one is available or
+// the mailbox is closed (ok=false).
+func (m *Mailbox[M]) Recv() (msg M, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return msg, false
+	}
+	msg = m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+// Close wakes any blocked receiver; subsequent Recv calls drain the
+// queue and then report ok=false.
+func (m *Mailbox[M]) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Rows manages the double-buffered payload rows of one graph: the
+// outputs of the previous timestep (consumed as inputs) and the
+// outputs being produced in the current timestep. The flat backing
+// arrays are allocated once, so steady-state execution is
+// allocation-free like the reference implementations.
+type Rows struct {
+	prev, cur [][]byte
+	prevFlat  []byte
+	curFlat   []byte
+}
+
+// NewRows allocates double buffers for a graph of the given width and
+// payload size.
+func NewRows(width, outputBytes int) *Rows {
+	r := &Rows{
+		prev:     make([][]byte, width),
+		cur:      make([][]byte, width),
+		prevFlat: make([]byte, width*outputBytes),
+		curFlat:  make([]byte, width*outputBytes),
+	}
+	for i := 0; i < width; i++ {
+		r.prev[i] = r.prevFlat[i*outputBytes : (i+1)*outputBytes]
+		r.cur[i] = r.curFlat[i*outputBytes : (i+1)*outputBytes]
+	}
+	return r
+}
+
+// Prev returns the payload produced by column i in the previous
+// timestep.
+func (r *Rows) Prev(i int) []byte { return r.prev[i] }
+
+// Cur returns the output buffer for column i in the current timestep.
+func (r *Rows) Cur(i int) []byte { return r.cur[i] }
+
+// Flip swaps the buffers at the end of a timestep.
+func (r *Rows) Flip() {
+	r.prev, r.cur = r.cur, r.prev
+	r.prevFlat, r.curFlat = r.curFlat, r.prevFlat
+}
+
+// GatherInputs appends the input payloads of task (t, i) drawn from
+// prev rows, in dependence order, reusing dst.
+func GatherInputs(g *core.Graph, t, i int, prev func(int) []byte, dst [][]byte) [][]byte {
+	dst = dst[:0]
+	g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+		dst = append(dst, prev(dep))
+	})
+	return dst
+}

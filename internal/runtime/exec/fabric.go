@@ -1,0 +1,109 @@
+package exec
+
+import (
+	"taskbench/internal/core"
+)
+
+// Fabric is the point-to-point communication substrate for rank-based
+// backends (the analogs of MPI, PaRSEC and StarPU). Each dependence
+// edge that crosses a rank boundary gets a dedicated buffered channel,
+// the Go rendering of "each task dependency maps to one send/receive
+// pair in MPI" (paper §3.4). Messages on an edge are consumed in
+// timestep order, so no tag matching is needed; payload headers are
+// still validated by the core library.
+type Fabric struct {
+	ranks int
+	// chans[g] maps consumer column -> producer column -> channel.
+	chans []map[int]map[int]chan []byte
+}
+
+// edgeCap bounds the per-edge buffering, like MPI's eager buffers. A
+// producer more than edgeCap timesteps ahead of a consumer blocks. The
+// value keeps memory bounded while never deadlocking: blocked sends
+// are always drained by a consumer that already has its own inputs.
+const edgeCap = 4
+
+// NewFabric scans every dependence set of every graph and creates one
+// channel per edge crossing a rank boundary under block distribution
+// over the given rank count.
+func NewFabric(app *core.App, ranks int) *Fabric {
+	f := &Fabric{ranks: ranks, chans: make([]map[int]map[int]chan []byte, len(app.Graphs))}
+	for gi, g := range app.Graphs {
+		edges := map[int]map[int]chan []byte{}
+		for dset := 0; dset < g.MaxDependenceSets(); dset++ {
+			for i := 0; i < g.MaxWidth; i++ {
+				consRank := OwnerOf(i, g.MaxWidth, ranks)
+				g.Dependencies(dset, i).ForEach(func(j int) {
+					if j < 0 || j >= g.MaxWidth {
+						return
+					}
+					if OwnerOf(j, g.MaxWidth, ranks) == consRank {
+						return
+					}
+					byProd := edges[i]
+					if byProd == nil {
+						byProd = map[int]chan []byte{}
+						edges[i] = byProd
+					}
+					if _, ok := byProd[j]; !ok {
+						byProd[j] = make(chan []byte, edgeCap)
+					}
+				})
+			}
+		}
+		f.chans[gi] = edges
+	}
+	return f
+}
+
+// Remote reports whether the edge producer→consumer crosses a rank
+// boundary (i.e. has a channel).
+func (f *Fabric) Remote(graph, producer, consumer int) bool {
+	byProd := f.chans[graph][consumer]
+	if byProd == nil {
+		return false
+	}
+	_, ok := byProd[producer]
+	return ok
+}
+
+// Send transmits a copy of payload along the edge producer→consumer.
+// The copy models the network's ownership transfer: the producer is
+// free to reuse its output buffer immediately.
+func (f *Fabric) Send(graph, producer, consumer int, payload []byte) {
+	msg := make([]byte, len(payload))
+	copy(msg, payload)
+	f.chans[graph][consumer][producer] <- msg
+}
+
+// Recv blocks until the next message on the edge producer→consumer
+// arrives and returns it. The caller owns the returned buffer.
+func (f *Fabric) Recv(graph, producer, consumer int) []byte {
+	return <-f.chans[graph][consumer][producer]
+}
+
+// SendRemoteOutputs sends task (t, i)'s output to every consumer in
+// the next timestep owned by a different rank.
+func (f *Fabric) SendRemoteOutputs(graph int, g *core.Graph, t, i int, output []byte) {
+	g.ReverseDependenciesForPoint(t, i).ForEach(func(cons int) {
+		if f.Remote(graph, i, cons) {
+			f.Send(graph, i, cons, output)
+		}
+	})
+}
+
+// GatherRankInputs collects the inputs of task (t, i) for a rank that
+// owns columns [span.Lo, span.Hi): local dependencies are read from
+// prev, remote ones received from the fabric. Appends to dst and
+// returns it.
+func (f *Fabric) GatherRankInputs(graph int, g *core.Graph, t, i int, span Span, prev func(int) []byte, dst [][]byte) [][]byte {
+	dst = dst[:0]
+	g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+		if dep >= span.Lo && dep < span.Hi {
+			dst = append(dst, prev(dep))
+		} else {
+			dst = append(dst, f.Recv(graph, dep, i))
+		}
+	})
+	return dst
+}

@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+)
+
+// Plan is the fully expanded task DAG of an application, shared by the
+// shared-memory DAG backends (taskpool, steal, events, graphexec,
+// central). It resolves each task's dependencies to task IDs, counts
+// scheduling predecessors, and precomputes the reference count of each
+// task's output buffer.
+//
+// Tasks of the same column are additionally serialized when the graph
+// carries a per-column scratch buffer: the memory kernel's working set
+// is stateful, so two timesteps of one column must not run
+// concurrently. This mirrors how the reference runtimes treat scratch
+// as a read-write region of the column. The extra edge carries no
+// payload.
+//
+// A Plan is single-use: the dependence counters burn down as the run
+// progresses.
+type Plan struct {
+	App   *core.App
+	Tasks []PlannedTask
+	// Seeds are the IDs of initially ready tasks.
+	Seeds []int32
+	// base[gi] is the ID offset of graph gi.
+	base []int32
+	// scratch[gi][i] is the persistent working set of column i.
+	scratch [][]*kernels.Scratch
+}
+
+// PlannedTask is one node of the expanded DAG.
+type PlannedTask struct {
+	// Exists is false for slots that are outside a graph's active
+	// window (e.g. early timesteps of the tree pattern).
+	Exists bool
+	Graph  int32
+	T, I   int32
+	// Counter holds the number of unsatisfied scheduling
+	// predecessors.
+	Counter atomic.Int32
+	// Inputs are the producer task IDs in dependence order.
+	Inputs []int32
+	// Consumers are the scheduling successor task IDs.
+	Consumers []int32
+	// PayloadRefs is the number of tasks that read this task's output
+	// payload. The buffer is allocated with PayloadRefs+1 references;
+	// the extra one belongs to the producer and is dropped right after
+	// execution, so buffers with no readers recycle immediately.
+	PayloadRefs int32
+}
+
+// BuildPlan expands every graph of the app into a single DAG.
+func BuildPlan(app *core.App) *Plan {
+	p := &Plan{App: app}
+	total := int32(0)
+	p.base = make([]int32, len(app.Graphs))
+	p.scratch = make([][]*kernels.Scratch, len(app.Graphs))
+	for gi, g := range app.Graphs {
+		p.base[gi] = total
+		total += int32(g.Timesteps * g.MaxWidth)
+		p.scratch[gi] = make([]*kernels.Scratch, g.MaxWidth)
+		for i := 0; i < g.MaxWidth; i++ {
+			p.scratch[gi][i] = kernels.NewScratch(g.ScratchBytes)
+		}
+	}
+	p.Tasks = make([]PlannedTask, total)
+
+	for gi, g := range app.Graphs {
+		serializeColumns := g.ScratchBytes > 0
+		for t := 0; t < g.Timesteps; t++ {
+			off := g.OffsetAtTimestep(t)
+			w := g.WidthAtTimestep(t)
+			for i := off; i < off+w; i++ {
+				id := p.ID(gi, t, i)
+				task := &p.Tasks[id]
+				task.Exists = true
+				task.Graph = int32(gi)
+				task.T = int32(t)
+				task.I = int32(i)
+
+				deps := g.DependenciesForPoint(t, i)
+				nDeps := 0
+				selfDep := false
+				deps.ForEach(func(dep int) {
+					prodID := p.ID(gi, t-1, dep)
+					task.Inputs = append(task.Inputs, prodID)
+					prod := &p.Tasks[prodID]
+					prod.Consumers = append(prod.Consumers, id)
+					prod.PayloadRefs++
+					nDeps++
+					if dep == i {
+						selfDep = true
+					}
+				})
+				// Scratch serialization edge (no payload).
+				if serializeColumns && !selfDep && t > 0 && g.ContainsPoint(t-1, i) {
+					prodID := p.ID(gi, t-1, i)
+					p.Tasks[prodID].Consumers = append(p.Tasks[prodID].Consumers, id)
+					nDeps++
+				}
+				task.Counter.Store(int32(nDeps))
+				if nDeps == 0 {
+					p.Seeds = append(p.Seeds, id)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// ID maps (graph, timestep, column) to the task's DAG index.
+func (p *Plan) ID(graph, t, i int) int32 {
+	g := p.App.Graphs[graph]
+	return p.base[graph] + int32(t*g.MaxWidth+i)
+}
+
+// Graph returns the graph of task id.
+func (p *Plan) Graph(id int32) *core.Graph {
+	return p.App.Graphs[p.Tasks[id].Graph]
+}
+
+// Scratch returns the working set of task id's column.
+func (p *Plan) Scratch(id int32) *kernels.Scratch {
+	task := &p.Tasks[id]
+	return p.scratch[task.Graph][task.I]
+}
+
+// TaskCount returns the number of existing tasks.
+func (p *Plan) TaskCount() int64 {
+	return p.App.TotalTasks()
+}
+
+// Execute runs task id: it allocates the task's output from pool,
+// gathers input payloads from out, validates and executes the kernel,
+// publishes the output, and releases the input references. It does NOT
+// touch dependence counters — queueing discipline is the backend's
+// business. Returns the first validation error (the task still
+// publishes an output so execution can continue draining).
+func (p *Plan) Execute(id int32, out []*Buf, pools []*BufPool, validate bool, inputs [][]byte) ([][]byte, error) {
+	task := &p.Tasks[id]
+	g := p.App.Graphs[task.Graph]
+	buf := pools[task.Graph].Get(int(task.PayloadRefs) + 1)
+
+	inputs = inputs[:0]
+	for _, prodID := range task.Inputs {
+		inputs = append(inputs, out[prodID].Data)
+	}
+
+	err := g.ExecutePoint(int(task.T), int(task.I), buf.Data, inputs, p.Scratch(id), validate)
+	if err != nil {
+		g.WriteOutput(int(task.T), int(task.I), buf.Data)
+	}
+	out[id] = buf
+	for _, prodID := range task.Inputs {
+		out[prodID].Release()
+	}
+	buf.Release() // the producer's own reference
+	return inputs, err
+}
+
+// NewPools allocates one payload buffer pool per graph.
+func NewPools(app *core.App) []*BufPool {
+	pools := make([]*BufPool, len(app.Graphs))
+	for gi, g := range app.Graphs {
+		pools[gi] = NewBufPool(g.OutputBytes)
+	}
+	return pools
+}

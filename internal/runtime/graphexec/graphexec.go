@@ -1,0 +1,82 @@
+// Package graphexec implements the TensorFlow analog (paper §3.14):
+// the task graph is compiled once into an immutable execution plan
+// (the analog of explicit graph construction in Python), and a C++-
+// style executor — a worker pool over a ready channel with atomic
+// in-degree counters — runs it. Plan construction happens outside the
+// timed region, like building a TensorFlow graph before session.run.
+package graphexec
+
+import (
+	"sync"
+
+	"taskbench/internal/core"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+)
+
+func init() {
+	runtime.Register("graphexec", func() runtime.Runtime { return rt{} })
+}
+
+type rt struct{}
+
+func (rt) Name() string { return "graphexec" }
+
+func (rt) Info() runtime.Info {
+	return runtime.Info{
+		Name:        "graphexec",
+		Analog:      "TensorFlow",
+		Paradigm:    "dataflow (compiled graph executor)",
+		Parallelism: "explicit",
+		Distributed: false,
+		Async:       true,
+		Notes:       "graph compiled before execution; atomic in-degree executor",
+	}
+}
+
+func (rt) Run(app *core.App) (core.RunStats, error) {
+	workers := exec.WorkersFor(app)
+	// Graph construction is untimed, as in TensorFlow.
+	plan := exec.BuildPlan(app)
+	pools := exec.NewPools(app)
+	var firstErr exec.ErrOnce
+	return exec.Measure(app, workers, func() error {
+		out := make([]*exec.Buf, len(plan.Tasks))
+		total := plan.TaskCount()
+		ready := make(chan int32, total)
+		for _, id := range plan.Seeds {
+			ready <- id
+		}
+
+		var done sync.WaitGroup
+		done.Add(int(total))
+		go func() {
+			done.Wait()
+			close(ready)
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var inputs [][]byte
+				for id := range ready {
+					var err error
+					inputs, err = plan.Execute(id, out, pools, app.Validate && !firstErr.Failed(), inputs)
+					if err != nil {
+						firstErr.Set(err)
+					}
+					for _, cons := range plan.Tasks[id].Consumers {
+						if plan.Tasks[cons].Counter.Add(-1) == 0 {
+							ready <- cons
+						}
+					}
+					done.Done()
+				}
+			}()
+		}
+		wg.Wait()
+		return firstErr.Err()
+	})
+}

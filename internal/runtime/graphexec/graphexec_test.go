@@ -1,0 +1,19 @@
+package graphexec
+
+import (
+	"testing"
+
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "graphexec")
+}
+
+func TestRepeat(t *testing.T) {
+	runtimetest.Repeat(t, "graphexec", 5)
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "graphexec")
+}

@@ -1,0 +1,137 @@
+// Package hybrid implements the MPI+OpenMP analog (paper §3.5): a
+// small number of ranks (nodes) communicate point-to-point, and within
+// each rank a forall-style parallel loop executes the rank's tasks
+// each timestep. The fork-join inside every timestep is the
+// hierarchical-model overhead the paper studies; communication is
+// funneled through the rank itself between joins.
+package hybrid
+
+import (
+	"sync"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+)
+
+func init() {
+	runtime.Register("hybrid", func() runtime.Runtime { return rt{} })
+}
+
+type rt struct{}
+
+func (rt) Name() string { return "hybrid" }
+
+func (rt) Info() runtime.Info {
+	return runtime.Info{
+		Name:        "hybrid",
+		Analog:      "MPI+OpenMP",
+		Paradigm:    "hybrid message passing + forall",
+		Parallelism: "explicit",
+		Distributed: true,
+		Async:       false,
+		Notes:       "p2p between ranks, fork-join parallel loop within each rank",
+	}
+}
+
+func (rt) Run(app *core.App) (core.RunStats, error) {
+	workers := exec.WorkersFor(app)
+	nodes := app.Nodes
+	if nodes <= 0 {
+		nodes = 2
+	}
+	if nodes > workers {
+		nodes = workers
+	}
+	threads := workers / nodes
+	if threads < 1 {
+		threads = 1
+	}
+	fabric := exec.NewFabric(app, nodes)
+	var firstErr exec.ErrOnce
+	return exec.Measure(app, nodes*threads, func() error {
+		var wg sync.WaitGroup
+		for r := 0; r < nodes; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				runRank(app, fabric, rank, nodes, threads, &firstErr)
+			}(r)
+		}
+		wg.Wait()
+		return firstErr.Err()
+	})
+}
+
+type rankState struct {
+	g       *core.Graph
+	span    exec.Span
+	rows    *exec.Rows
+	scratch []*kernels.Scratch
+}
+
+func runRank(app *core.App, fabric *exec.Fabric, rank, nodes, threads int, firstErr *exec.ErrOnce) {
+	states := make([]*rankState, len(app.Graphs))
+	maxSteps := 0
+	for gi, g := range app.Graphs {
+		span := exec.BlockAssign(g.MaxWidth, nodes)[rank]
+		st := &rankState{g: g, span: span, rows: exec.NewRows(g.MaxWidth, g.OutputBytes)}
+		st.scratch = make([]*kernels.Scratch, g.MaxWidth)
+		for i := span.Lo; i < span.Hi; i++ {
+			st.scratch[i] = kernels.NewScratch(g.ScratchBytes)
+		}
+		states[gi] = st
+		if g.Timesteps > maxSteps {
+			maxSteps = g.Timesteps
+		}
+	}
+
+	for t := 0; t < maxSteps; t++ {
+		for gi, st := range states {
+			g := st.g
+			if t >= g.Timesteps {
+				continue
+			}
+			off := g.OffsetAtTimestep(t)
+			w := g.WidthAtTimestep(t)
+			lo := max(st.span.Lo, off)
+			hi := min(st.span.Hi, off+w)
+			if lo >= hi {
+				st.rows.Flip()
+				continue
+			}
+			// Fork: parallel loop over this rank's columns. Each
+			// chunk worker receives its own remote inputs (edges are
+			// per-consumer, so chunks never contend on a channel).
+			chunks := exec.BlockAssign(hi-lo, threads)
+			var wg sync.WaitGroup
+			for c := 0; c < threads; c++ {
+				chunk := chunks[c]
+				if chunk.Len() == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(chunk exec.Span) {
+					defer wg.Done()
+					var inputs [][]byte
+					for i := lo + chunk.Lo; i < lo+chunk.Hi; i++ {
+						inputs = fabric.GatherRankInputs(gi, g, t, i, st.span, st.rows.Prev, inputs)
+						out := st.rows.Cur(i)
+						err := g.ExecutePoint(t, i, out, inputs, st.scratch[i], app.Validate && !firstErr.Failed())
+						if err != nil {
+							firstErr.Set(err)
+							g.WriteOutput(t, i, out)
+						}
+					}
+				}(chunk)
+			}
+			wg.Wait()
+			// Join: funneled communication phase.
+			for i := lo; i < hi; i++ {
+				fabric.SendRemoteOutputs(gi, g, t, i, st.rows.Cur(i))
+			}
+			st.rows.Flip()
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package hybrid
+
+import (
+	"testing"
+
+	"taskbench/internal/core"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "hybrid")
+}
+
+func TestRepeat(t *testing.T) {
+	runtimetest.Repeat(t, "hybrid", 5)
+}
+
+func TestExplicitNodeCount(t *testing.T) {
+	rt, err := runtime.New("hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := core.NewApp(core.MustNew(core.Params{
+		Timesteps: 6, MaxWidth: 16, Dependence: core.Stencil1D,
+	}))
+	app.Nodes = 4
+	app.Workers = 8
+	stats, err := rt.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 8 {
+		t.Errorf("Workers = %d, want 8 (4 nodes × 2 threads)", stats.Workers)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "hybrid")
+}

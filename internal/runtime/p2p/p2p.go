@@ -1,0 +1,105 @@
+// Package p2p implements the MPI point-to-point analog: one goroutine
+// per rank, columns block-distributed over ranks, and one
+// send/receive channel pair per dependence edge that crosses a rank
+// boundary (paper §3.4). Each rank alternates a receive+compute phase
+// with sends issued as soon as each task completes, the best
+// performing strategy the paper found for MPI.
+package p2p
+
+import (
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+)
+
+func init() {
+	runtime.Register("p2p", func() runtime.Runtime { return rt{} })
+}
+
+type rt struct{}
+
+func (rt) Name() string { return "p2p" }
+
+func (rt) Info() runtime.Info {
+	return runtime.Info{
+		Name:        "p2p",
+		Analog:      "MPI p2p",
+		Paradigm:    "message passing",
+		Parallelism: "explicit",
+		Distributed: true,
+		Async:       false,
+		Notes:       "rank per worker; per-edge channels; sends issued per task",
+	}
+}
+
+func (rt) Run(app *core.App) (core.RunStats, error) {
+	ranks := exec.WorkersFor(app)
+	fabric := exec.NewFabric(app, ranks)
+	var firstErr exec.ErrOnce
+	return exec.Measure(app, ranks, func() error {
+		done := make(chan struct{})
+		for r := 0; r < ranks; r++ {
+			go func(rank int) {
+				defer func() { done <- struct{}{} }()
+				runRank(app, fabric, rank, ranks, &firstErr)
+			}(r)
+		}
+		for r := 0; r < ranks; r++ {
+			<-done
+		}
+		return firstErr.Err()
+	})
+}
+
+// rankState holds one rank's slice of one graph.
+type rankState struct {
+	g       *core.Graph
+	span    exec.Span
+	rows    *exec.Rows
+	scratch []*kernels.Scratch
+}
+
+func runRank(app *core.App, fabric *exec.Fabric, rank, ranks int, firstErr *exec.ErrOnce) {
+	states := make([]*rankState, len(app.Graphs))
+	maxSteps := 0
+	for gi, g := range app.Graphs {
+		span := exec.BlockAssign(g.MaxWidth, ranks)[rank]
+		st := &rankState{g: g, span: span, rows: exec.NewRows(g.MaxWidth, g.OutputBytes)}
+		st.scratch = make([]*kernels.Scratch, g.MaxWidth)
+		for i := span.Lo; i < span.Hi; i++ {
+			st.scratch[i] = kernels.NewScratch(g.ScratchBytes)
+		}
+		states[gi] = st
+		if g.Timesteps > maxSteps {
+			maxSteps = g.Timesteps
+		}
+	}
+
+	var inputs [][]byte
+	for t := 0; t < maxSteps; t++ {
+		for gi, st := range states {
+			g := st.g
+			if t >= g.Timesteps {
+				continue
+			}
+			off := g.OffsetAtTimestep(t)
+			w := g.WidthAtTimestep(t)
+			lo := max(st.span.Lo, off)
+			hi := min(st.span.Hi, off+w)
+			for i := lo; i < hi; i++ {
+				inputs = fabric.GatherRankInputs(gi, g, t, i, st.span, st.rows.Prev, inputs)
+				out := st.rows.Cur(i)
+				err := g.ExecutePoint(t, i, out, inputs, st.scratch[i], app.Validate && !firstErr.Failed())
+				if err != nil {
+					// Record the failure but keep the protocol flowing
+					// so peer ranks do not deadlock on missing sends.
+					firstErr.Set(err)
+					g.WriteOutput(t, i, out)
+				}
+				fabric.SendRemoteOutputs(gi, g, t, i, out)
+			}
+			st.rows.Flip()
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package p2p
+
+import (
+	"testing"
+
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "p2p")
+}
+
+func TestRepeat(t *testing.T) {
+	runtimetest.Repeat(t, "p2p", 5)
+}
+
+func TestInfo(t *testing.T) {
+	rt, err := runtime.New("p2p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := rt.Info()
+	if !info.Distributed || info.Async {
+		t.Errorf("unexpected info %+v", info)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "p2p")
+}

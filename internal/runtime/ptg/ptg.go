@@ -1,0 +1,164 @@
+// Package ptg implements the PaRSEC parameterized-task-graph analog
+// (paper §3.8): the algebraic description of the task graph is
+// expanded at "compile time" — before the timed region — into
+// per-rank, per-dependence-set firing rules, so execution walks
+// precompiled task and communication lists with no graph queries at
+// all. This is the compile-time counterpart of dtd, reproducing the
+// paper's DTD-vs-PTG scalability comparison (§5.4).
+package ptg
+
+import (
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+)
+
+func init() {
+	runtime.Register("ptg", func() runtime.Runtime { return rt{} })
+}
+
+type rt struct{}
+
+func (rt) Name() string { return "ptg" }
+
+func (rt) Info() runtime.Info {
+	return runtime.Info{
+		Name:        "ptg",
+		Analog:      "PaRSEC PTG",
+		Paradigm:    "task-based (parameterized task graph)",
+		Parallelism: "implicit",
+		Distributed: true,
+		Async:       false,
+		Notes:       "dependence relations expanded to firing rules before execution",
+	}
+}
+
+// compiledInput is one input of a compiled task.
+type compiledInput struct {
+	col    int
+	remote bool
+}
+
+// compiledTask is one owned task at some timestep.
+type compiledTask struct {
+	col     int
+	inputs  []compiledInput
+	sendsTo []int // remote consumer columns at t+1
+}
+
+// compiledStep is everything a rank does in one timestep of one graph.
+type compiledStep struct {
+	tasks []compiledTask
+}
+
+// compiledGraph is a rank's full schedule for one graph.
+type compiledGraph struct {
+	g       *core.Graph
+	span    exec.Span
+	steps   []compiledStep
+	rows    *exec.Rows
+	scratch []*kernels.Scratch
+}
+
+// compile expands the dependence relations for one rank.
+func compile(app *core.App, rank, ranks int) []*compiledGraph {
+	out := make([]*compiledGraph, len(app.Graphs))
+	for gi, g := range app.Graphs {
+		span := exec.BlockAssign(g.MaxWidth, ranks)[rank]
+		cg := &compiledGraph{
+			g: g, span: span,
+			steps: make([]compiledStep, g.Timesteps),
+			rows:  exec.NewRows(g.MaxWidth, g.OutputBytes),
+		}
+		cg.scratch = make([]*kernels.Scratch, g.MaxWidth)
+		for i := span.Lo; i < span.Hi; i++ {
+			cg.scratch[i] = kernels.NewScratch(g.ScratchBytes)
+		}
+		for t := 0; t < g.Timesteps; t++ {
+			off := g.OffsetAtTimestep(t)
+			w := g.WidthAtTimestep(t)
+			lo := max(span.Lo, off)
+			hi := min(span.Hi, off+w)
+			for i := lo; i < hi; i++ {
+				task := compiledTask{col: i}
+				g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+					task.inputs = append(task.inputs, compiledInput{
+						col:    dep,
+						remote: dep < span.Lo || dep >= span.Hi,
+					})
+				})
+				g.ReverseDependenciesForPoint(t, i).ForEach(func(cons int) {
+					if cons < span.Lo || cons >= span.Hi {
+						task.sendsTo = append(task.sendsTo, cons)
+					}
+				})
+				cg.steps[t].tasks = append(cg.steps[t].tasks, task)
+			}
+		}
+		out[gi] = cg
+	}
+	return out
+}
+
+func (rt) Run(app *core.App) (core.RunStats, error) {
+	ranks := exec.WorkersFor(app)
+	fabric := exec.NewFabric(app, ranks)
+	// Compile-time expansion, outside the timed region.
+	compiled := make([][]*compiledGraph, ranks)
+	maxSteps := 0
+	for rank := 0; rank < ranks; rank++ {
+		compiled[rank] = compile(app, rank, ranks)
+	}
+	for _, g := range app.Graphs {
+		if g.Timesteps > maxSteps {
+			maxSteps = g.Timesteps
+		}
+	}
+	var firstErr exec.ErrOnce
+	return exec.Measure(app, ranks, func() error {
+		done := make(chan struct{})
+		for rank := 0; rank < ranks; rank++ {
+			go func(rank int) {
+				defer func() { done <- struct{}{} }()
+				runRank(app, fabric, compiled[rank], maxSteps, &firstErr)
+			}(rank)
+		}
+		for rank := 0; rank < ranks; rank++ {
+			<-done
+		}
+		return firstErr.Err()
+	})
+}
+
+func runRank(app *core.App, fabric *exec.Fabric, graphs []*compiledGraph, maxSteps int, firstErr *exec.ErrOnce) {
+	var inputs [][]byte
+	for t := 0; t < maxSteps; t++ {
+		for gi, cg := range graphs {
+			g := cg.g
+			if t >= g.Timesteps {
+				continue
+			}
+			for _, task := range cg.steps[t].tasks {
+				inputs = inputs[:0]
+				for _, in := range task.inputs {
+					if in.remote {
+						inputs = append(inputs, fabric.Recv(gi, in.col, task.col))
+					} else {
+						inputs = append(inputs, cg.rows.Prev(in.col))
+					}
+				}
+				out := cg.rows.Cur(task.col)
+				err := g.ExecutePoint(t, task.col, out, inputs, cg.scratch[task.col], app.Validate && !firstErr.Failed())
+				if err != nil {
+					firstErr.Set(err)
+					g.WriteOutput(t, task.col, out)
+				}
+				for _, cons := range task.sendsTo {
+					fabric.Send(gi, task.col, cons, out)
+				}
+			}
+			cg.rows.Flip()
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package ptg
+
+import (
+	"testing"
+
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "ptg")
+}
+
+func TestRepeat(t *testing.T) {
+	runtimetest.Repeat(t, "ptg", 5)
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "ptg")
+}

@@ -1,0 +1,96 @@
+// Package runtime defines the interface every Task Bench backend
+// implements, and a registry of the available backends.
+//
+// Each backend is the Go analog of one of the paper's 15 programming
+// systems (Table 3): it executes arbitrary task graphs described by
+// internal/core using a particular scheduling and communication
+// paradigm (bulk-synchronous phases, point-to-point messages, actors,
+// events, work stealing, dynamic task discovery, a centralized
+// controller, ...). As in the paper, the system-specific code is thin —
+// graph structure, kernels and validation all live in the core library —
+// so every benchmark runs unchanged on every backend.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"taskbench/internal/core"
+)
+
+// Runtime executes Task Bench applications under one scheduling
+// paradigm.
+type Runtime interface {
+	// Name returns the registry name of the backend.
+	Name() string
+	// Info describes the backend's paradigm (paper Table 3).
+	Info() Info
+	// Run executes every graph of the app to completion, validating
+	// all task inputs (unless app.Validate is false), and returns
+	// timing statistics. Run reports an error if any task input fails
+	// validation or the app cannot be executed.
+	Run(app *core.App) (core.RunStats, error)
+}
+
+// Info is the backend metadata rendered into the paper's Table 3/4
+// analog by cmd/figures.
+type Info struct {
+	// Name is the registry name.
+	Name string
+	// Analog names the paper system this backend models.
+	Analog string
+	// Paradigm is the scheduling paradigm (actor model, task-based,
+	// message passing, ...).
+	Paradigm string
+	// Parallelism is "explicit", "implicit" or "both".
+	Parallelism string
+	// Distributed reports whether the backend partitions work into
+	// rank-like address spaces with message-based communication.
+	Distributed bool
+	// Async reports whether the backend overlaps communication with
+	// computation (no global phase structure).
+	Async bool
+	// Notes captures salient implementation details.
+	Notes string
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Runtime{}
+)
+
+// Register adds a backend factory under a unique name. Backends
+// register themselves from init functions; Register panics on
+// duplicates, which would be a programming error.
+func Register(name string, factory func() Runtime) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("runtime: duplicate backend %q", name))
+	}
+	registry[name] = factory
+}
+
+// New instantiates a registered backend by name.
+func New(name string) (Runtime, error) {
+	regMu.RLock()
+	factory, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown backend %q (have %v)", name, Names())
+	}
+	return factory(), nil
+}
+
+// Names returns the sorted names of all registered backends.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,224 @@
+// Package runtimetest provides the conformance suite every backend
+// must pass. Because the core library validates every task input
+// against the dependence relation and every output is unique (paper
+// §2), a run that completes without error proves the backend delivered
+// exactly the right payloads to exactly the right tasks in every
+// pattern. Each backend's own test file invokes Conformance.
+package runtimetest
+
+import (
+	"errors"
+	"testing"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+)
+
+// Case is one conformance scenario.
+type Case struct {
+	Name string
+	App  func() *core.App
+}
+
+// graph is shorthand for building test graphs.
+func graph(id int, dep core.DependenceType, width, steps, radix, output int) *core.Graph {
+	return core.MustNew(core.Params{
+		GraphID:     id,
+		Timesteps:   steps,
+		MaxWidth:    width,
+		Dependence:  dep,
+		Radix:       radix,
+		OutputBytes: output,
+		Seed:        99,
+	})
+}
+
+// Cases returns the standard conformance battery.
+func Cases() []Case {
+	cases := []Case{}
+
+	// Every dependence pattern on a power-of-two width.
+	for _, dep := range core.DependenceTypes() {
+		dep := dep
+		radix := 0
+		if dep == core.Nearest || dep == core.Spread || dep == core.RandomNearest {
+			radix = 5
+		}
+		cases = append(cases, Case{
+			Name: "pattern/" + dep.String(),
+			App: func() *core.App {
+				return core.NewApp(graph(0, dep, 8, 6, radix, 16))
+			},
+		})
+	}
+
+	cases = append(cases,
+		Case{"wide_graph", func() *core.App {
+			app := core.NewApp(graph(0, core.Stencil1D, 64, 8, 0, 16))
+			app.Workers = 4
+			return app
+		}},
+		Case{"tall_graph", func() *core.App {
+			app := core.NewApp(graph(0, core.Stencil1D, 4, 100, 0, 16))
+			app.Workers = 4
+			return app
+		}},
+		Case{"large_payload", func() *core.App {
+			return core.NewApp(graph(0, core.Stencil1DPeriodic, 8, 6, 0, 4096))
+		}},
+		Case{"single_column", func() *core.App {
+			return core.NewApp(graph(0, core.NoComm, 1, 10, 0, 16))
+		}},
+		Case{"single_step", func() *core.App {
+			return core.NewApp(graph(0, core.Stencil1D, 8, 1, 0, 16))
+		}},
+		Case{"single_worker", func() *core.App {
+			app := core.NewApp(graph(0, core.Nearest, 16, 6, 5, 16))
+			app.Workers = 1
+			return app
+		}},
+		Case{"more_workers_than_columns", func() *core.App {
+			app := core.NewApp(graph(0, core.Stencil1D, 2, 6, 0, 16))
+			app.Workers = 8
+			return app
+		}},
+		Case{"compute_kernel", func() *core.App {
+			g := core.MustNew(core.Params{
+				Timesteps: 5, MaxWidth: 8, Dependence: core.Stencil1D,
+				Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: 50},
+			})
+			return core.NewApp(g)
+		}},
+		Case{"memory_kernel", func() *core.App {
+			g := core.MustNew(core.Params{
+				Timesteps: 5, MaxWidth: 8, Dependence: core.NoComm,
+				Kernel:       kernels.Config{Type: kernels.MemoryBound, Iterations: 4, SpanBytes: 256},
+				ScratchBytes: 4096,
+			})
+			return core.NewApp(g)
+		}},
+		Case{"imbalance_kernel", func() *core.App {
+			g := core.MustNew(core.Params{
+				Timesteps: 5, MaxWidth: 8, Dependence: core.Nearest, Radix: 5,
+				Kernel: kernels.Config{Type: kernels.LoadImbalance, Iterations: 40, ImbalanceFactor: 1},
+				Seed:   7,
+			})
+			return core.NewApp(g)
+		}},
+		Case{"two_heterogeneous_graphs", func() *core.App {
+			return core.NewApp(
+				graph(0, core.Stencil1D, 8, 6, 0, 16),
+				graph(1, core.FFT, 16, 8, 0, 32),
+			)
+		}},
+		Case{"four_identical_graphs", func() *core.App {
+			gs := make([]*core.Graph, 4)
+			for k := range gs {
+				gs[k] = graph(k, core.Nearest, 8, 6, 5, 16)
+			}
+			return core.NewApp(gs...)
+		}},
+		Case{"graphs_of_unequal_height", func() *core.App {
+			return core.NewApp(
+				graph(0, core.Stencil1D, 8, 3, 0, 16),
+				graph(1, core.Stencil1D, 8, 9, 0, 16),
+			)
+		}},
+		Case{"validation_disabled", func() *core.App {
+			app := core.NewApp(graph(0, core.Stencil1D, 8, 6, 0, 16))
+			app.Validate = false
+			return app
+		}},
+	)
+	return cases
+}
+
+// FaultInjection verifies the backend's error path end to end: with
+// payload corruption injected by the core library (Params.FaultRate),
+// a consumer must detect the corruption during validation and the
+// backend must surface a *core.ValidationError without deadlocking.
+func FaultInjection(t *testing.T, name string) {
+	t.Helper()
+	rt, err := runtime.New(name)
+	if err != nil {
+		t.Fatalf("runtime.New(%q): %v", name, err)
+	}
+	app := core.NewApp(core.MustNew(core.Params{
+		Timesteps:   8,
+		MaxWidth:    8,
+		Dependence:  core.Stencil1D,
+		OutputBytes: 64,
+		FaultRate:   1.0, // every task corrupts its output
+		Seed:        5,
+	}))
+	app.Workers = 4
+	_, err = rt.Run(app)
+	if err == nil {
+		t.Fatalf("%s did not report injected corruption", name)
+	}
+	var verr *core.ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("%s returned %T (%v), want *core.ValidationError", name, err, err)
+	}
+
+	// A clean app on the same backend still runs: the failure did not
+	// poison shared state.
+	clean := core.NewApp(core.MustNew(core.Params{
+		Timesteps: 4, MaxWidth: 4, Dependence: core.Stencil1D,
+	}))
+	if _, err := rt.Run(clean); err != nil {
+		t.Fatalf("%s failed on a clean app after a faulty one: %v", name, err)
+	}
+}
+
+// Conformance runs the full battery against the named backend.
+func Conformance(t *testing.T, name string) {
+	t.Helper()
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			rt, err := runtime.New(name)
+			if err != nil {
+				t.Fatalf("runtime.New(%q): %v", name, err)
+			}
+			app := c.App()
+			stats, err := rt.Run(app)
+			if err != nil {
+				t.Fatalf("%s failed on %s: %v", name, c.Name, err)
+			}
+			if stats.Tasks != app.TotalTasks() {
+				t.Errorf("stats.Tasks = %d, want %d", stats.Tasks, app.TotalTasks())
+			}
+			if stats.Elapsed <= 0 {
+				t.Errorf("stats.Elapsed = %v, want > 0", stats.Elapsed)
+			}
+			if stats.Workers <= 0 {
+				t.Errorf("stats.Workers = %d, want > 0", stats.Workers)
+			}
+		})
+	}
+}
+
+// Repeat runs a nontrivial multi-graph app several times on the named
+// backend, shaking out races that a single run might miss (use with
+// -race in CI).
+func Repeat(t *testing.T, name string, times int) {
+	t.Helper()
+	rt, err := runtime.New(name)
+	if err != nil {
+		t.Fatalf("runtime.New(%q): %v", name, err)
+	}
+	for k := 0; k < times; k++ {
+		app := core.NewApp(
+			graph(0, core.Spread, 16, 12, 5, 64),
+			graph(1, core.FFT, 16, 12, 0, 16),
+			graph(2, core.Tree, 16, 12, 0, 16),
+		)
+		app.Workers = 4
+		if _, err := rt.Run(app); err != nil {
+			t.Fatalf("%s failed on repeat %d: %v", name, k, err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package serial
+
+import (
+	"testing"
+
+	"taskbench/internal/core"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "serial")
+}
+
+func TestInfo(t *testing.T) {
+	rt, err := runtime.New("serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := rt.Info()
+	if info.Name != "serial" || info.Distributed || info.Async {
+		t.Errorf("unexpected info %+v", info)
+	}
+	if rt.Name() != "serial" {
+		t.Errorf("Name() = %q", rt.Name())
+	}
+}
+
+func TestSerialIsSingleWorker(t *testing.T) {
+	rt, _ := runtime.New("serial")
+	app := core.NewApp(core.MustNew(core.Params{Timesteps: 3, MaxWidth: 4, Dependence: core.Stencil1D}))
+	app.Workers = 16 // serial ignores the hint
+	stats, err := rt.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 1 {
+		t.Errorf("Workers = %d, want 1", stats.Workers)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "serial")
+}

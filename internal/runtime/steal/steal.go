@@ -1,0 +1,136 @@
+// Package steal implements the work-stealing analog (Chapel with the
+// distrib scheduler, paper §5.7): each worker owns a deque, pushes
+// tasks it makes ready onto its own deque (locality), pops LIFO, and
+// steals FIFO from random victims when idle. Stealing rebalances load
+// without programmer effort at large task granularities, at the cost
+// of extra queue synchronization at very small ones — exactly the
+// trade-off the paper observes between Chapel's default and distrib
+// schedulers.
+package steal
+
+import (
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"taskbench/internal/core"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+)
+
+func init() {
+	runtime.Register("steal", func() runtime.Runtime { return rt{} })
+}
+
+type rt struct{}
+
+func (rt) Name() string { return "steal" }
+
+func (rt) Info() runtime.Info {
+	return runtime.Info{
+		Name:        "steal",
+		Analog:      "Chapel (distrib scheduler)",
+		Paradigm:    "task-based",
+		Parallelism: "both",
+		Distributed: false,
+		Async:       true,
+		Notes:       "per-worker deques, LIFO local pop, FIFO random steal",
+	}
+}
+
+// deque is a mutex-guarded work-stealing deque. Local pops take the
+// newest task; thieves take the oldest.
+type deque struct {
+	mu    sync.Mutex
+	items []int32
+}
+
+func (d *deque) push(id int32) {
+	d.mu.Lock()
+	d.items = append(d.items, id)
+	d.mu.Unlock()
+}
+
+func (d *deque) popNewest() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return 0, false
+	}
+	id := d.items[n-1]
+	d.items = d.items[:n-1]
+	return id, true
+}
+
+func (d *deque) stealOldest() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	id := d.items[0]
+	d.items = d.items[1:]
+	return id, true
+}
+
+func (rt) Run(app *core.App) (core.RunStats, error) {
+	workers := exec.WorkersFor(app)
+	var firstErr exec.ErrOnce
+	return exec.Measure(app, workers, func() error {
+		plan := exec.BuildPlan(app)
+		pools := exec.NewPools(app)
+		out := make([]*exec.Buf, len(plan.Tasks))
+		deques := make([]*deque, workers)
+		for w := range deques {
+			deques[w] = &deque{}
+		}
+		// Seed round-robin so initial work is spread out.
+		for k, id := range plan.Seeds {
+			deques[k%workers].push(id)
+		}
+
+		var remaining atomic.Int64
+		remaining.Store(plan.TaskCount())
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(self int) {
+				defer wg.Done()
+				// Deterministic per-worker victim sequence.
+				rng := uint64(self)*0x9e3779b97f4a7c15 + 1
+				var inputs [][]byte
+				for remaining.Load() > 0 {
+					id, ok := deques[self].popNewest()
+					if !ok {
+						// Steal from a pseudo-random victim.
+						rng = rng*6364136223846793005 + 1442695040888963407
+						victim := int(rng>>33) % workers
+						if victim == self {
+							victim = (victim + 1) % workers
+						}
+						id, ok = deques[victim].stealOldest()
+					}
+					if !ok {
+						stdruntime.Gosched()
+						continue
+					}
+					var err error
+					inputs, err = plan.Execute(id, out, pools, app.Validate && !firstErr.Failed(), inputs)
+					if err != nil {
+						firstErr.Set(err)
+					}
+					for _, cons := range plan.Tasks[id].Consumers {
+						if plan.Tasks[cons].Counter.Add(-1) == 0 {
+							deques[self].push(cons)
+						}
+					}
+					remaining.Add(-1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return firstErr.Err()
+	})
+}

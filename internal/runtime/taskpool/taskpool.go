@@ -1,0 +1,128 @@
+// Package taskpool implements the OpenMP-task / OmpSs analog (paper
+// §3.6–3.7): a shared-memory pool of workers draining a central FIFO
+// ready queue, with OpenMP-4.0-style task dependencies tracked by
+// per-task counters. The central queue is simple and fair but becomes
+// a serialization point at very small task granularities — the same
+// contention effect the paper observes for task-dependency runtimes.
+package taskpool
+
+import (
+	"sync"
+
+	"taskbench/internal/core"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+)
+
+func init() {
+	runtime.Register("taskpool", func() runtime.Runtime { return rt{} })
+}
+
+type rt struct{}
+
+func (rt) Name() string { return "taskpool" }
+
+func (rt) Info() runtime.Info {
+	return runtime.Info{
+		Name:        "taskpool",
+		Analog:      "OpenMP task / OmpSs",
+		Paradigm:    "task-based",
+		Parallelism: "both",
+		Distributed: false,
+		Async:       true,
+		Notes:       "central FIFO ready queue with dependence counters",
+	}
+}
+
+// queue is the central ready queue.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []int32
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(ids ...int32) {
+	q.mu.Lock()
+	q.items = append(q.items, ids...)
+	if len(ids) == 1 {
+		q.cond.Signal()
+	} else {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+func (q *queue) pop() (int32, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	id := q.items[0]
+	q.items = q.items[1:]
+	return id, true
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (rt) Run(app *core.App) (core.RunStats, error) {
+	workers := exec.WorkersFor(app)
+	var firstErr exec.ErrOnce
+	return exec.Measure(app, workers, func() error {
+		plan := exec.BuildPlan(app)
+		pools := exec.NewPools(app)
+		out := make([]*exec.Buf, len(plan.Tasks))
+		q := newQueue()
+		q.push(plan.Seeds...)
+
+		var remaining sync.WaitGroup
+		remaining.Add(int(plan.TaskCount()))
+		go func() {
+			remaining.Wait()
+			q.close()
+		}()
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var inputs [][]byte
+				for {
+					id, ok := q.pop()
+					if !ok {
+						return
+					}
+					var err error
+					inputs, err = plan.Execute(id, out, pools, app.Validate && !firstErr.Failed(), inputs)
+					if err != nil {
+						firstErr.Set(err)
+					}
+					for _, cons := range plan.Tasks[id].Consumers {
+						if plan.Tasks[cons].Counter.Add(-1) == 0 {
+							q.push(cons)
+						}
+					}
+					remaining.Done()
+				}
+			}()
+		}
+		wg.Wait()
+		return firstErr.Err()
+	})
+}

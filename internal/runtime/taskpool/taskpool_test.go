@@ -1,0 +1,19 @@
+package taskpool
+
+import (
+	"testing"
+
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "taskpool")
+}
+
+func TestRepeat(t *testing.T) {
+	runtimetest.Repeat(t, "taskpool", 5)
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "taskpool")
+}

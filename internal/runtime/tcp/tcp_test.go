@@ -1,0 +1,53 @@
+package tcp
+
+import (
+	"testing"
+
+	"taskbench/internal/core"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/runtimetest"
+)
+
+func TestConformance(t *testing.T) {
+	runtimetest.Conformance(t, "tcp")
+}
+
+func TestRepeat(t *testing.T) {
+	runtimetest.Repeat(t, "tcp", 3)
+}
+
+func TestFaultInjection(t *testing.T) {
+	runtimetest.FaultInjection(t, "tcp")
+}
+
+func TestLargePayloadOverWire(t *testing.T) {
+	rt, err := runtime.New("tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payloads far beyond a TCP segment exercise framing and partial
+	// reads.
+	app := core.NewApp(core.MustNew(core.Params{
+		Timesteps: 4, MaxWidth: 4, Dependence: core.Stencil1DPeriodic,
+		OutputBytes: 1 << 18,
+	}))
+	app.Workers = 4
+	stats, err := rt.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tasks != 16 {
+		t.Errorf("tasks = %d, want 16", stats.Tasks)
+	}
+}
+
+func TestAllToAllOverWire(t *testing.T) {
+	rt, _ := runtime.New("tcp")
+	app := core.NewApp(core.MustNew(core.Params{
+		Timesteps: 3, MaxWidth: 8, Dependence: core.AllToAll,
+	}))
+	app.Workers = 4
+	if _, err := rt.Run(app); err != nil {
+		t.Fatal(err)
+	}
+}

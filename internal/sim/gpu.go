@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"time"
+
+	"taskbench/internal/core"
+)
+
+// GPUConfig describes the MPI+CUDA offload experiment of Figure 13:
+// a single Piz Daint node running the stencil pattern, with data
+// copied to and from the GPU on every timestep (the paper's offload
+// model, §3.5) and RanksPerGPU MPI ranks pushing work to one GPU
+// (w1 = 1 rank; w4 = 4 ranks, overdecomposing the work 4×).
+type GPUConfig struct {
+	Machine     Machine
+	RanksPerGPU int
+	// Steps and Width shape the task graph (Width tasks per step for
+	// w1; overdecomposition multiplies the task count and divides the
+	// per-task work).
+	Steps, Width int
+	// CopyBytesPerTask is the data staged to and from the device for
+	// each w1-sized task (the kernel working set plus halos).
+	CopyBytesPerTask int64
+}
+
+// singleStreamUtil is the fraction of GPU peak a single rank's
+// serialized offload stream can sustain; overdecomposition overlaps
+// transfers with kernels and removes the cap (§5.8: "w4 achieves
+// higher FLOP/s").
+const singleStreamUtil = 0.90
+
+// GPUResult is one point of the Figure 13 curve.
+type GPUResult struct {
+	Iterations int64
+	Flops      float64
+	Elapsed    time.Duration
+}
+
+// FlopsPerSecond returns achieved throughput.
+func (r GPUResult) FlopsPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return r.Flops / r.Elapsed.Seconds()
+}
+
+// SimulateGPU models the offload execution at one problem size
+// (iterations of the compute kernel per w1-sized task).
+//
+// With one rank (w1) each task serializes launch, copy-in/out and
+// kernel, and a single stream cannot quite saturate the device. With
+// w ranks the work is overdecomposed w-fold: copies overlap kernels,
+// so large problems reach the GPU's full peak, but every step now
+// pays w times as many kernel launches, which is why w4 drops faster
+// at small problem sizes (§5.8).
+func SimulateGPU(cfg GPUConfig, iterations int64) GPUResult {
+	m := cfg.Machine
+	w := cfg.RanksPerGPU
+	if w < 1 {
+		w = 1
+	}
+	flopsPerStep := float64(iterations) * 128 * float64(cfg.Width)
+	copySecsPerStep := 2 * float64(cfg.CopyBytesPerTask) * float64(cfg.Width) / m.GPUCopyBW
+
+	var stepSecs float64
+	if w == 1 {
+		kernelSecs := flopsPerStep / (m.GPUFlops * singleStreamUtil)
+		stepSecs = float64(cfg.Width)*m.GPULaunch.Seconds() + copySecsPerStep + kernelSecs
+	} else {
+		kernelSecs := flopsPerStep / m.GPUFlops
+		launches := float64(cfg.Width*w) * m.GPULaunch.Seconds()
+		stepSecs = max(kernelSecs, copySecsPerStep) + launches
+	}
+	return GPUResult{
+		Iterations: iterations,
+		Flops:      flopsPerStep * float64(cfg.Steps),
+		Elapsed:    time.Duration(stepSecs * float64(cfg.Steps) * float64(time.Second)),
+	}
+}
+
+// SimulateGPUCPUBaseline runs the same problem on the node's CPU cores
+// using the mpi p2p profile, for the CPU line of Figure 13. The CPU
+// kernel performs the same FLOPs (the paper normalizes problem size to
+// keep FLOPs constant between CPU and GPU).
+func SimulateGPUCPUBaseline(cfg GPUConfig, iterations int64) GPUResult {
+	p, _ := ProfileByName("mpi p2p")
+	g := core.MustNew(core.Params{
+		Timesteps:  cfg.Steps,
+		MaxWidth:   cfg.Width,
+		Dependence: core.Stencil1D,
+		Kernel:     kernelConfig(iterations),
+	})
+	app := core.NewApp(g)
+	st := Simulate(app, cfg.Machine, p)
+	return GPUResult{
+		Iterations: iterations,
+		Flops:      st.Flops,
+		Elapsed:    st.Elapsed,
+	}
+}

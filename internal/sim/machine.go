@@ -1,0 +1,98 @@
+// Package sim is a discrete-event simulator of a cluster running Task
+// Bench applications. It substitutes for the paper's testbeds (Cori's
+// 256 Haswell nodes and Piz Daint's P100 nodes, §5), which we do not
+// have: the simulator executes the exact same task graphs from
+// internal/core on a machine model (nodes × cores, NIC latency and
+// bandwidth) under per-system overhead profiles, reproducing the
+// multi-node figures' shapes from first-principles cost models.
+//
+// Single-node results can be cross-checked against real goroutine
+// backends; multi-node results (Figures 4, 5, 9, 11, 13) come from
+// here.
+package sim
+
+import "time"
+
+// Machine describes the simulated hardware.
+type Machine struct {
+	// Name identifies the model in reports.
+	Name string
+	// Nodes is the number of nodes.
+	Nodes int
+	// CoresPerNode is the number of physical cores per node.
+	CoresPerNode int
+	// FlopsPerCore is the per-core peak of the compute-bound kernel.
+	FlopsPerCore float64
+	// NetLatency is the one-way network latency between nodes.
+	NetLatency time.Duration
+	// HopLatency is added per log2(Nodes) to model topology diameter.
+	HopLatency time.Duration
+	// NetBandwidth is the per-node injection bandwidth in bytes/s.
+	NetBandwidth float64
+	// LocalLatency is the core-to-core latency within a node (shared
+	// memory).
+	LocalLatency time.Duration
+
+	// GPU offload model (Figure 13). Zero values mean no accelerator.
+	GPUsPerNode  int
+	GPUFlops     float64       // per-GPU peak
+	GPULaunch    time.Duration // per-kernel launch overhead
+	GPUCopyBW    float64       // host<->device bandwidth, bytes/s
+	GPUCopyBytes int64         // bytes copied to and from the device per task
+}
+
+// Cori models one to 256 Haswell nodes of the Cori supercomputer:
+// 32 physical cores and 1.26 TFLOP/s per node (the paper's empirically
+// measured peak, §5.1), with a Cray Aries interconnect (~1.3 µs
+// latency, ~8 GB/s effective injection bandwidth).
+func Cori(nodes int) Machine {
+	return Machine{
+		Name:         "cori-haswell",
+		Nodes:        nodes,
+		CoresPerNode: 32,
+		FlopsPerCore: 1.26e12 / 32,
+		NetLatency:   1300 * time.Nanosecond,
+		HopLatency:   150 * time.Nanosecond,
+		NetBandwidth: 8e9,
+		LocalLatency: 120 * time.Nanosecond,
+	}
+}
+
+// PizDaint models Piz Daint XC50 nodes: one 12-core Xeon E5-2690 v3
+// (5.726e11 FLOP/s measured, §5.8) plus one P100 GPU (4.759e12 FLOP/s
+// measured) per node, PCIe-attached at ~11 GB/s.
+func PizDaint(nodes int) Machine {
+	return Machine{
+		Name:         "piz-daint",
+		Nodes:        nodes,
+		CoresPerNode: 12,
+		FlopsPerCore: 5.726e11 / 12,
+		NetLatency:   1300 * time.Nanosecond,
+		HopLatency:   150 * time.Nanosecond,
+		NetBandwidth: 8e9,
+		LocalLatency: 120 * time.Nanosecond,
+		GPUsPerNode:  1,
+		GPUFlops:     4.759e12,
+		GPULaunch:    10 * time.Microsecond,
+		GPUCopyBW:    11e9,
+		GPUCopyBytes: 1 << 20,
+	}
+}
+
+// TotalCores returns the machine's total core count.
+func (m Machine) TotalCores() int { return m.Nodes * m.CoresPerNode }
+
+// PeakFlops returns the machine's aggregate compute-kernel peak.
+func (m Machine) PeakFlops() float64 {
+	return m.FlopsPerCore * float64(m.TotalCores())
+}
+
+// RemoteLatency returns the node-to-node latency including the
+// topology term for the machine's size.
+func (m Machine) RemoteLatency() time.Duration {
+	hops := 0
+	for n := m.Nodes; n > 1; n >>= 1 {
+		hops++
+	}
+	return m.NetLatency + time.Duration(hops)*m.HopLatency
+}

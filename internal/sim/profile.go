@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile is the overhead model of one programming system: where the
+// system spends time per task, per dependency and per message, whether
+// it executes asynchronously, steals work, reserves cores, or funnels
+// scheduling through a central controller. The constants below are
+// calibrated so that single-node METG values land in the bands the
+// paper reports (Figure 9a, §5.3–5.5); the multi-node behaviour then
+// emerges from the model structure rather than from per-point tuning.
+type Profile struct {
+	// Name matches the figure legends of the paper.
+	Name string
+
+	// TaskOverhead is the per-task dispatch cost paid on the worker.
+	TaskOverhead time.Duration
+	// DepOverhead is the per-dependency bookkeeping cost.
+	DepOverhead time.Duration
+	// MsgOverhead is the per-remote-message software cost (send+recv).
+	MsgOverhead time.Duration
+	// BarrierOverhead is a per-timestep global synchronization cost
+	// (bulk-synchronous systems only).
+	BarrierOverhead time.Duration
+
+	// CentralGrant is the controller service time per task; a nonzero
+	// value serializes all scheduling through one controller
+	// (Spark/Dask). Implies Async execution of granted tasks.
+	CentralGrant time.Duration
+
+	// DynamicCheckPerCore is the per-task discovery cost that scales
+	// with the TOTAL number of cores, modeling DTD-style SPMD
+	// enumeration where every rank walks the full task graph (§5.4).
+	DynamicCheckPerCore time.Duration
+
+	// DedicatedCores is the number of cores per node reserved for the
+	// runtime (out-of-line overhead, §5.3).
+	DedicatedCores int
+
+	// Async systems execute any ready task, overlapping communication
+	// and computation; synchronous systems process tasks in program
+	// order with blocking receives.
+	Async bool
+
+	// WorkStealing rebalances ready tasks across the cores of a node.
+	WorkStealing bool
+
+	// UtilizationCap scales achievable kernel throughput (managed
+	// runtimes that cannot reach peak FLOP/s, §5.1). Zero means 1.0.
+	UtilizationCap float64
+}
+
+// cap returns the effective utilization cap.
+func (p Profile) cap() float64 {
+	if p.UtilizationCap <= 0 || p.UtilizationCap > 1 {
+		return 1
+	}
+	return p.UtilizationCap
+}
+
+// Profiles returns the overhead models of the 19 system variants that
+// appear across the paper's figures, in legend order.
+func Profiles() []Profile {
+	us := time.Microsecond
+	ms := time.Millisecond
+	return []Profile{
+		// Chapel: coforall tasks + PGAS puts; moderate per-task cost.
+		{Name: "chapel", TaskOverhead: 15 * us, DepOverhead: 2 * us, MsgOverhead: 4 * us, Async: false},
+		// Chapel with the distrib (work-stealing) scheduler: extra
+		// queue cost per task, but rebalances within a node.
+		{Name: "chapel distrib", TaskOverhead: 25 * us, DepOverhead: 2 * us, MsgOverhead: 4 * us, Async: true, WorkStealing: true},
+		// Charm++: message-driven chares, fully asynchronous.
+		{Name: "charm++", TaskOverhead: 1500 * time.Nanosecond, DepOverhead: 600 * time.Nanosecond, MsgOverhead: 2 * us, Async: true},
+		// Dask: centralized Python scheduler, ~ms per task decision.
+		{Name: "dask", TaskOverhead: 200 * us, DepOverhead: 50 * us, MsgOverhead: 500 * us, CentralGrant: 2500 * us, Async: true, UtilizationCap: 0.9},
+		// MPI bulk synchronous: p2p plus a barrier every timestep.
+		{Name: "mpi bulk sync", TaskOverhead: 250 * time.Nanosecond, DepOverhead: 500 * time.Nanosecond, MsgOverhead: 900 * time.Nanosecond, BarrierOverhead: 5 * us},
+		// MPI p2p: the leanest runtime; nonblocking sends/recvs.
+		{Name: "mpi p2p", TaskOverhead: 250 * time.Nanosecond, DepOverhead: 500 * time.Nanosecond, MsgOverhead: 900 * time.Nanosecond},
+		// MPI+OpenMP: adds a fork-join per timestep on every rank.
+		{Name: "mpi+openmp", TaskOverhead: 700 * time.Nanosecond, DepOverhead: 500 * time.Nanosecond, MsgOverhead: 900 * time.Nanosecond, BarrierOverhead: 8 * us},
+		// OmpSs: task dependencies resolved at runtime.
+		{Name: "ompss", TaskOverhead: 3 * us, DepOverhead: 800 * time.Nanosecond, Async: true},
+		// OpenMP tasks (Intel KMP): shared-memory task dependencies.
+		{Name: "openmp task", TaskOverhead: 1200 * time.Nanosecond, DepOverhead: 400 * time.Nanosecond, Async: true},
+		// PaRSEC DTD: asynchronous, but every rank enumerates the full
+		// graph with dynamic checks that scale with total cores.
+		{Name: "parsec dtd", TaskOverhead: 2 * us, DepOverhead: 700 * time.Nanosecond, MsgOverhead: 1500 * time.Nanosecond, DynamicCheckPerCore: 120 * time.Nanosecond, Async: true},
+		// PaRSEC PTG: compile-time expansion shrinks but does not
+		// eliminate the dynamic checks (§5.4).
+		{Name: "parsec ptg", TaskOverhead: 1500 * time.Nanosecond, DepOverhead: 600 * time.Nanosecond, MsgOverhead: 1500 * time.Nanosecond, DynamicCheckPerCore: 25 * time.Nanosecond, Async: true},
+		// PaRSEC shard: manual optimizations eliminate the checks.
+		{Name: "parsec shard", TaskOverhead: 1500 * time.Nanosecond, DepOverhead: 600 * time.Nanosecond, MsgOverhead: 1500 * time.Nanosecond, Async: true},
+		// Realm: event-based, one core per node reserved for the
+		// runtime (out-of-line overhead); ready tasks run on any idle
+		// worker, so the remaining cores absorb the reserved core's
+		// columns.
+		{Name: "realm", TaskOverhead: 900 * time.Nanosecond, DepOverhead: 400 * time.Nanosecond, MsgOverhead: 1800 * time.Nanosecond, DedicatedCores: 1, Async: true, WorkStealing: true},
+		// Regent: Legion's dynamic analysis on top of Realm; two
+		// dedicated cores and much higher per-task cost.
+		{Name: "regent", TaskOverhead: 120 * us, DepOverhead: 10 * us, MsgOverhead: 5 * us, DedicatedCores: 2, Async: true, WorkStealing: true},
+		// Spark: centralized driver, tens-of-ms scheduling decisions,
+		// JVM utilization cap.
+		{Name: "spark", TaskOverhead: 1 * ms, DepOverhead: 200 * us, MsgOverhead: 2 * ms, CentralGrant: 8 * ms, Async: true, UtilizationCap: 0.85},
+		// StarPU: STF model, similar regime to PaRSEC DTD.
+		{Name: "starpu", TaskOverhead: 3 * us, DepOverhead: 900 * time.Nanosecond, MsgOverhead: 1800 * time.Nanosecond, DynamicCheckPerCore: 100 * time.Nanosecond, Async: true},
+		// Swift/T: interpreted dataflow; very high per-statement cost.
+		{Name: "swift/t", TaskOverhead: 30 * ms, DepOverhead: 1 * ms, MsgOverhead: 2 * ms, Async: true},
+		// TensorFlow: graph executor with ~ms-scale op dispatch
+		// (single-node in the paper's evaluation).
+		{Name: "tensorflow", TaskOverhead: 4 * ms, DepOverhead: 100 * us, Async: true, UtilizationCap: 0.9},
+		// X10: place-based PGAS, compiled native backend.
+		{Name: "x10", TaskOverhead: 40 * us, DepOverhead: 4 * us, MsgOverhead: 8 * us, Async: false},
+	}
+}
+
+// ProfileByName finds a profile in Profiles.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("sim: unknown profile %q", name)
+}

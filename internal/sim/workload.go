@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+)
+
+// kernelConfig returns the compute-bound kernel at the given problem
+// size.
+func kernelConfig(iterations int64) kernels.Config {
+	return kernels.Config{Type: kernels.ComputeBound, Iterations: iterations}
+}
+
+// Workload describes one evaluation scenario: the dependence pattern,
+// graph shape per node, number of concurrent graphs, payload size and
+// optional load imbalance. It generates apps for any node count and
+// problem size, which is exactly how the paper's sweeps are organized
+// (§5: "32 tasks wide and 1000 timesteps long" per node).
+type Workload struct {
+	// Dependence selects the pattern; Radix applies to nearest/spread.
+	Dependence core.DependenceType
+	Radix      int
+	// Steps is the graph height.
+	Steps int
+	// WidthPerNode is the number of columns per node (the paper uses
+	// one per core: 32 on Cori).
+	WidthPerNode int
+	// Graphs is the number of identical concurrent task graphs.
+	Graphs int
+	// OutputBytes is the payload per dependence edge.
+	OutputBytes int
+	// Imbalance is the load-imbalance factor (0 = balanced).
+	Imbalance float64
+	// Persistent makes the imbalance a fixed property of each column
+	// rather than a fresh draw per task (§5.7 future work).
+	Persistent bool
+	// Seed feeds deterministic task multipliers.
+	Seed uint64
+}
+
+// App instantiates the workload for a node count and per-task
+// iteration count.
+func (w Workload) App(nodes int, iterations int64) *core.App {
+	if w.Graphs <= 0 {
+		w.Graphs = 1
+	}
+	width := w.WidthPerNode * nodes
+	if width < 1 {
+		width = 1
+	}
+	k := kernelConfig(iterations)
+	if w.Imbalance > 0 {
+		k.Type = kernels.LoadImbalance
+		k.ImbalanceFactor = w.Imbalance
+		k.PersistentImbalance = w.Persistent
+	}
+	graphs := make([]*core.Graph, w.Graphs)
+	for gi := range graphs {
+		graphs[gi] = core.MustNew(core.Params{
+			GraphID:     gi,
+			Timesteps:   w.Steps,
+			MaxWidth:    width,
+			Dependence:  w.Dependence,
+			Radix:       w.Radix,
+			Kernel:      k,
+			OutputBytes: w.OutputBytes,
+			Seed:        w.Seed,
+		})
+	}
+	return core.NewApp(graphs...)
+}
+
+// Runner adapts the workload to the METG search procedure for a fixed
+// machine and profile.
+func (w Workload) Runner(m Machine, p Profile) func(iterations int64) core.RunStats {
+	return func(iterations int64) core.RunStats {
+		return Simulate(w.App(m.Nodes, iterations), m, p)
+	}
+}

@@ -1,0 +1,115 @@
+// Package trace analyzes task graph structure and execution: critical
+// paths, parallelism profiles, and lower bounds on makespan. The
+// simulator's results are checked against these bounds (a simulated
+// makespan below the critical path or below work ÷ cores would be a
+// model bug), and the bounds tell users how much speedup a graph shape
+// can possibly yield — context the paper's §4 discussion of weak and
+// strong scaling limits assumes.
+package trace
+
+import (
+	"time"
+
+	"taskbench/internal/core"
+)
+
+// GraphProfile summarizes the structure of one task graph.
+type GraphProfile struct {
+	// Tasks is the total task count.
+	Tasks int64
+	// Edges is the total dependence edge count.
+	Edges int64
+	// CriticalPathLength is the number of tasks on the longest
+	// dependence chain (every task counts 1).
+	CriticalPathLength int
+	// MaxWidth is the widest timestep (available parallelism).
+	MaxWidth int
+	// AvgDegree is the mean number of dependencies per task over
+	// non-first timesteps.
+	AvgDegree float64
+	// BytesPerStep is the payload volume crossing one timestep
+	// boundary in steady state (last boundary of the graph).
+	BytesPerStep int64
+}
+
+// Profile computes the structural profile of a graph.
+func Profile(g *core.Graph) GraphProfile {
+	p := GraphProfile{
+		Tasks: g.TotalTasks(),
+		Edges: g.TotalDependencies(),
+	}
+	// Critical path: longest chain over unit-weight tasks. depth[i] is
+	// the longest chain ending at (t, i).
+	depth := make([]int, g.MaxWidth)
+	next := make([]int, g.MaxWidth)
+	for t := 0; t < g.Timesteps; t++ {
+		off := g.OffsetAtTimestep(t)
+		w := g.WidthAtTimestep(t)
+		if w > p.MaxWidth {
+			p.MaxWidth = w
+		}
+		for i := off; i < off+w; i++ {
+			best := 0
+			g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+				if depth[dep] > best {
+					best = depth[dep]
+				}
+			})
+			next[i] = best + 1
+			if next[i] > p.CriticalPathLength {
+				p.CriticalPathLength = next[i]
+			}
+		}
+		copy(depth, next)
+	}
+	if denom := p.Tasks - int64(g.WidthAtTimestep(0)); denom > 0 {
+		p.AvgDegree = float64(p.Edges) / float64(denom)
+	}
+	if g.Timesteps > 1 {
+		t := g.Timesteps - 1
+		off := g.OffsetAtTimestep(t)
+		w := g.WidthAtTimestep(t)
+		for i := off; i < off+w; i++ {
+			p.BytesPerStep += int64(g.DependenciesForPoint(t, i).Count()) * int64(g.OutputBytes)
+		}
+	}
+	return p
+}
+
+// Bounds are the classic scheduling lower bounds for an app on a
+// machine with the given worker count, assuming a fixed per-task
+// duration.
+type Bounds struct {
+	// Work is the serial execution time of all tasks.
+	Work time.Duration
+	// Span is the critical-path execution time (infinite workers).
+	Span time.Duration
+	// Lower is max(Work/workers, Span): no schedule can beat it.
+	Lower time.Duration
+	// MaxSpeedup is Work ÷ Span, the graph's parallelism.
+	MaxSpeedup float64
+}
+
+// AppBounds computes work/span bounds for an app where every task
+// takes perTask. Concurrent graphs add work but not span.
+func AppBounds(app *core.App, perTask time.Duration, workers int) Bounds {
+	var b Bounds
+	longest := 0
+	for _, g := range app.Graphs {
+		p := Profile(g)
+		b.Work += time.Duration(p.Tasks) * perTask
+		if p.CriticalPathLength > longest {
+			longest = p.CriticalPathLength
+		}
+	}
+	b.Span = time.Duration(longest) * perTask
+	if workers < 1 {
+		workers = 1
+	}
+	even := b.Work / time.Duration(workers)
+	b.Lower = max(even, b.Span)
+	if b.Span > 0 {
+		b.MaxSpeedup = float64(b.Work) / float64(b.Span)
+	}
+	return b
+}

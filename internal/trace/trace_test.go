@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/sim"
+)
+
+func TestProfileStencil(t *testing.T) {
+	g := core.MustNew(core.Params{Timesteps: 10, MaxWidth: 8, Dependence: core.Stencil1D})
+	p := Profile(g)
+	if p.Tasks != 80 || p.MaxWidth != 8 {
+		t.Errorf("profile = %+v", p)
+	}
+	// Every timestep depends on the previous one, so the critical path
+	// is the full height.
+	if p.CriticalPathLength != 10 {
+		t.Errorf("critical path = %d, want 10", p.CriticalPathLength)
+	}
+	// Interior tasks have 3 deps, edges 2: average in (2, 3).
+	if p.AvgDegree <= 2 || p.AvgDegree >= 3 {
+		t.Errorf("avg degree = %v", p.AvgDegree)
+	}
+	if p.BytesPerStep != int64(g.TotalDependencies())/9*int64(g.OutputBytes) {
+		t.Errorf("bytes per step = %d", p.BytesPerStep)
+	}
+}
+
+func TestProfileTrivial(t *testing.T) {
+	g := core.MustNew(core.Params{Timesteps: 10, MaxWidth: 4, Dependence: core.Trivial})
+	p := Profile(g)
+	// No dependencies at all: the critical path is a single task.
+	if p.CriticalPathLength != 1 {
+		t.Errorf("trivial critical path = %d, want 1", p.CriticalPathLength)
+	}
+	if p.Edges != 0 || p.AvgDegree != 0 || p.BytesPerStep != 0 {
+		t.Errorf("trivial profile = %+v", p)
+	}
+}
+
+func TestProfileTree(t *testing.T) {
+	g := core.MustNew(core.Params{Timesteps: 6, MaxWidth: 8, Dependence: core.Tree})
+	p := Profile(g)
+	// The tree chains every timestep: fan-out then butterfly.
+	if p.CriticalPathLength != 6 {
+		t.Errorf("tree critical path = %d, want 6", p.CriticalPathLength)
+	}
+	if p.MaxWidth != 8 {
+		t.Errorf("tree max width = %d, want 8", p.MaxWidth)
+	}
+}
+
+func TestAppBounds(t *testing.T) {
+	g := core.MustNew(core.Params{Timesteps: 10, MaxWidth: 8, Dependence: core.Stencil1D})
+	app := core.NewApp(g)
+	b := AppBounds(app, time.Millisecond, 8)
+	if b.Work != 80*time.Millisecond {
+		t.Errorf("work = %v", b.Work)
+	}
+	if b.Span != 10*time.Millisecond {
+		t.Errorf("span = %v", b.Span)
+	}
+	if b.Lower != 10*time.Millisecond {
+		t.Errorf("lower = %v (work/8 = 10ms = span)", b.Lower)
+	}
+	if b.MaxSpeedup != 8 {
+		t.Errorf("max speedup = %v, want 8", b.MaxSpeedup)
+	}
+	// Two concurrent graphs double the work, not the span.
+	g2 := core.MustNew(core.Params{GraphID: 1, Timesteps: 10, MaxWidth: 8, Dependence: core.Stencil1D})
+	b2 := AppBounds(core.NewApp(g, g2), time.Millisecond, 8)
+	if b2.Work != 2*b.Work || b2.Span != b.Span {
+		t.Errorf("two-graph bounds = %+v", b2)
+	}
+}
+
+// Property: the simulator never beats the scheduling lower bound.
+func TestSimulatorRespectsBoundsProperty(t *testing.T) {
+	deps := []core.DependenceType{core.Trivial, core.Stencil1D, core.Dom, core.Nearest, core.Spread}
+	f := func(depRaw, widthRaw, stepsRaw uint8, profRaw uint8) bool {
+		dep := deps[int(depRaw)%len(deps)]
+		width := 8 + int(widthRaw)%24
+		steps := 2 + int(stepsRaw)%8
+		radix := 0
+		if dep == core.Nearest || dep == core.Spread {
+			radix = 3
+		}
+		iters := int64(4096)
+		g, err := core.New(core.Params{
+			Timesteps: steps, MaxWidth: width, Dependence: dep, Radix: radix,
+			Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: iters},
+		})
+		if err != nil {
+			return false
+		}
+		app := core.NewApp(g)
+
+		profiles := sim.Profiles()
+		p := profiles[int(profRaw)%len(profiles)]
+		m := sim.Cori(1)
+		st := sim.Simulate(app, m, p)
+
+		// Per-task duration on the simulated machine (no overheads).
+		perTask := time.Duration(float64(iters) * 128 / m.FlopsPerCore * float64(time.Second))
+		b := AppBounds(app, perTask, m.TotalCores())
+		// The simulated makespan includes overhead, so it must be at
+		// least the pure lower bound (tiny slack for rounding).
+		return st.Elapsed >= b.Lower-time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

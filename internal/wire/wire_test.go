@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+)
+
+func sampleApp(t *testing.T) *core.App {
+	t.Helper()
+	app := core.NewApp(
+		core.MustNew(core.Params{
+			Timesteps: 10, MaxWidth: 8, Dependence: core.Nearest, Radix: 5,
+			Kernel:      kernels.Config{Type: kernels.ComputeBound, Iterations: 256},
+			OutputBytes: 64, Seed: 7,
+		}),
+		core.MustNew(core.Params{
+			GraphID: 1, Timesteps: 5, MaxWidth: 4, Dependence: core.Trivial,
+			Kernel: kernels.Config{Type: kernels.BusyWait, WaitDuration: 20 * time.Microsecond},
+		}),
+	)
+	app.Workers = 4
+	return app
+}
+
+func TestRoundTrip(t *testing.T) {
+	app := sampleApp(t)
+	spec := FromApp(app)
+	back, err := spec.ToApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Graphs) != 2 || back.Workers != 4 || !back.Validate {
+		t.Fatalf("round trip lost app fields: %+v", back)
+	}
+	g := back.Graphs[0]
+	if g.Dependence != core.Nearest || g.Radix != 5 || g.Kernel.Iterations != 256 ||
+		g.OutputBytes != 64 || g.Seed != 7 {
+		t.Errorf("graph 0 fields lost: %+v", g.Params)
+	}
+	if back.Graphs[1].Kernel.WaitDuration != 20*time.Microsecond {
+		t.Errorf("busy wait lost: %+v", back.Graphs[1].Kernel)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	app := sampleApp(t)
+	var sb strings.Builder
+	if err := Encode(&sb, FromApp(app)); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Decode(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := spec.ToApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalTasks() != app.TotalTasks() || back.TotalDependencies() != app.TotalDependencies() {
+		t.Error("JSON round trip changed the graph structure")
+	}
+}
+
+func TestValidateFlagSurvives(t *testing.T) {
+	app := sampleApp(t)
+	app.Validate = false
+	back, err := FromApp(app).ToApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Validate {
+		t.Error("validate=false lost in round trip")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		``,                           // empty
+		`{"graphs": []}`,             // no graphs
+		`{"graphs": [{"steps": 1}]}`, // missing type
+		`{"graphs": [{"bogus": 1}]}`, // unknown field
+		`{"graphs": [{"steps": 1, "width": 1, "type": "nope"}]}`,
+		`{"graphs": [{"steps": 1, "width": 1, "type": "trivial", "kernel": "nope"}]}`,
+		`{"graphs": [{"steps": 0, "width": 1, "type": "trivial"}]}`,
+	}
+	for _, c := range cases {
+		spec, err := Decode(strings.NewReader(c))
+		if err == nil {
+			_, err = spec.ToApp()
+		}
+		if err == nil {
+			t.Errorf("Decode/ToApp accepted invalid spec %q", c)
+		}
+	}
+}

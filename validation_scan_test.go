@@ -1,0 +1,41 @@
+package taskbench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	_ "taskbench/internal/runtime/all"
+)
+
+func TestValidationOverheadScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement scan")
+	}
+	rt, _ := runtime.New("serial")
+	for _, iters := range []int64{16, 64, 256, 1024} {
+		var on, off time.Duration
+		for r := 0; r < 10; r++ {
+			for _, v := range []bool{true, false} {
+				app := core.NewApp(core.MustNew(core.Params{
+					Timesteps: 50, MaxWidth: 8, Dependence: core.Stencil1D,
+					Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: iters},
+				}))
+				app.Validate = v
+				st, err := rt.Run(app)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v {
+					on += st.Elapsed
+				} else {
+					off += st.Elapsed
+				}
+			}
+		}
+		fmt.Printf("iters=%5d  on=%v off=%v overhead=%.1f%%\n", iters, on/10, off/10, 100*(float64(on)/float64(off)-1))
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"taskbench/internal/metg"
 	"taskbench/internal/runtime"
 	_ "taskbench/internal/runtime/all"
+	"taskbench/internal/runtime/exec"
 	"taskbench/internal/sim"
 )
 
@@ -356,6 +357,81 @@ func BenchmarkAblationGPUOverdecomposition(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPlanBuild measures expanded-DAG construction — the cost an
+// METG sweep used to pay at every measurement point. The parallel
+// column-wise builder and Plan.Reset exist to take this off the
+// per-point path; Reset is benchmarked alongside for the comparison.
+func BenchmarkPlanBuild(b *testing.B) {
+	app := core.NewApp(core.MustNew(core.Params{
+		Timesteps: 64, MaxWidth: 256, Dependence: core.Stencil1D,
+	}))
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if plan := exec.BuildPlan(app); len(plan.Seeds) == 0 {
+				b.Fatal("plan has no seed tasks")
+			}
+		}
+		b.ReportMetric(float64(app.TotalTasks())*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+	})
+	b.Run("reset", func(b *testing.B) {
+		plan := exec.BuildPlan(app)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			plan.Reset()
+		}
+		b.ReportMetric(float64(app.TotalTasks())*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+	})
+}
+
+// BenchmarkEngineSweep compares a small efficiency-vs-granularity
+// sweep on an engine-backed backend with and without plan reuse:
+// "rebuild" reconstructs the DAG at every point (the old behavior),
+// "reuse" drives one exec.Session whose plan is Reset per point.
+func BenchmarkEngineSweep(b *testing.B) {
+	const steps, width = 32, 64
+	iters := []int64{64, 16, 4, 1}
+	params := func(it int64) core.Params {
+		return core.Params{
+			Timesteps: steps, MaxWidth: width, Dependence: core.Stencil1D,
+			Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: it},
+		}
+	}
+	b.Run("rebuild", func(b *testing.B) {
+		rt, err := runtime.New("taskpool")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			for _, it := range iters {
+				if _, err := rt.Run(core.NewApp(core.MustNew(params(it)))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		rt, err := runtime.New("taskpool")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pb, ok := rt.(runtime.PolicyBacked)
+		if !ok {
+			b.Fatal("taskpool is not policy-backed")
+		}
+		app := core.NewApp(core.MustNew(params(1)))
+		sess := exec.NewSession(app, pb.Policy())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, it := range iters {
+				app.Graphs[0].Kernel.Iterations = it
+				if _, err := sess.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkMETGRealBackends measures true host-scale METG(50%) for the

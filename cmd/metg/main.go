@@ -62,12 +62,15 @@ func main() {
 		if w == 0 {
 			w = 4
 		}
-		run = func(iterations int64) core.RunStats {
-			g := core.MustNew(core.Params{
+		// Engine-backed backends reuse one plan across the whole sweep.
+		sweep := metg.BackendSweep(rt, func(iterations int64) *core.Graph {
+			return core.MustNew(core.Params{
 				Timesteps: *steps, MaxWidth: w, Dependence: dep, Radix: *radix,
 				Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: iterations},
 			})
-			st, err := rt.Run(core.NewApp(g))
+		})
+		run = func(iterations int64) core.RunStats {
+			st, err := sweep(iterations)
 			if err != nil {
 				fatal(err)
 			}

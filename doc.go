@@ -3,13 +3,14 @@
 // Performance" (Slaughter et al., SC 2020).
 //
 // The library lives under internal/: the core task-graph description
-// (internal/core), the kernels (internal/kernels), twelve runtime
+// (internal/core), the kernels (internal/kernels), the runtime
 // backends modelling the paper's programming systems
-// (internal/runtime/...), a discrete-event cluster simulator standing
-// in for the Cori and Piz Daint testbeds (internal/sim), the METG
-// metric (internal/metg) and the experiment harness
-// (internal/harness). See README.md for a tour, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+// (internal/runtime/...), the shared scheduler engine and reusable
+// task-DAG plan they execute through (internal/runtime/exec), a
+// discrete-event cluster simulator standing in for the Cori and Piz
+// Daint testbeds (internal/sim), the METG metric (internal/metg) and
+// the experiment harness (internal/harness). See README.md for a tour
+// and DESIGN.md for the architecture and system inventory.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation: run `go test -bench=. -benchmem` here, or

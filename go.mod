@@ -1,0 +1,3 @@
+module taskbench
+
+go 1.24

@@ -39,21 +39,24 @@ func (c RealConfig) backends() []string {
 }
 
 // realRunner adapts a backend to the METG sweep for the stencil
-// workload of Figures 2/3/6/7.
+// workload of Figures 2/3/6/7. Engine-backed backends reuse one
+// Session — the plan is built once per configuration and Reset per
+// point — so the sweep measures scheduling, not DAG reconstruction.
 func realRunner(name string, cfg RealConfig) (metg.Runner, error) {
 	rt, err := runtime.New(name)
 	if err != nil {
 		return nil, err
 	}
-	return func(iterations int64) core.RunStats {
-		g := core.MustNew(core.Params{
+	sweep := metg.BackendSweep(rt, func(iterations int64) *core.Graph {
+		return core.MustNew(core.Params{
 			Timesteps:  cfg.Steps,
 			MaxWidth:   cfg.Width,
 			Dependence: core.Stencil1D,
 			Kernel:     kernels.Config{Type: kernels.ComputeBound, Iterations: iterations},
 		})
-		app := core.NewApp(g)
-		st, err := rt.Run(app)
+	})
+	return func(iterations int64) core.RunStats {
+		st, err := sweep(iterations)
 		if err != nil {
 			panic(fmt.Sprintf("harness: %s failed: %v", name, err))
 		}
@@ -129,23 +132,28 @@ func Fig8MemoryBandwidth(cfg RealConfig) (*Figure, error) {
 		XLabel: "iterations per task", YLabel: "GB/s", LogX: true,
 	}
 	iters := stats.GeomIters(min64(cfg.MaxIters, 1<<10), 1, cfg.PerDoubling)
+	mkGraph := func(it int64) *core.Graph {
+		return core.MustNew(core.Params{
+			Timesteps:  cfg.Steps,
+			MaxWidth:   cfg.Width,
+			Dependence: core.Stencil1D,
+			Kernel: kernels.Config{
+				Type: kernels.MemoryBound, Iterations: it, SpanBytes: 1 << 14,
+			},
+			ScratchBytes: 4 << 20, // constant per-column working set
+		})
+	}
 	for _, name := range cfg.backends() {
 		rt, err := runtime.New(name)
 		if err != nil {
 			return nil, err
 		}
+		// Engine-backed backends amortize one plan (and its 4 MiB
+		// per-column scratch allocations) across the whole sweep.
+		run := metg.BackendSweep(rt, mkGraph)
 		s := Series{Label: name}
 		for _, it := range iters {
-			g := core.MustNew(core.Params{
-				Timesteps:  cfg.Steps,
-				MaxWidth:   cfg.Width,
-				Dependence: core.Stencil1D,
-				Kernel: kernels.Config{
-					Type: kernels.MemoryBound, Iterations: it, SpanBytes: 1 << 14,
-				},
-				ScratchBytes: 4 << 20, // constant per-column working set
-			})
-			st, err := rt.Run(core.NewApp(g))
+			st, err := run(it)
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s: %w", name, err)
 			}

@@ -16,6 +16,9 @@ import (
 	"time"
 
 	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
 	"taskbench/internal/stats"
 )
 
@@ -23,6 +26,47 @@ import (
 // reports run statistics. Implementations wrap either a real runtime
 // backend or the cluster simulator.
 type Runner func(iterations int64) core.RunStats
+
+// BackendSweep returns the per-point measurement function for a real
+// runtime backend over a graph family parameterized by iteration
+// count. A sweep measures the same task graph at every point of the
+// curve — only the per-task kernel size changes — so engine-backed
+// backends (runtime.PolicyBacked) reuse one exec.Session: the plan is
+// built once per configuration and Reset per point, instead of paying
+// O(tasks) DAG reconstruction per measurement. Other backends rebuild
+// the app at each point.
+func BackendSweep(rt runtime.Runtime, mkGraph func(iterations int64) *core.Graph) func(iterations int64) (core.RunStats, error) {
+	if pb, ok := rt.(runtime.PolicyBacked); ok {
+		template := mkGraph(1)
+		var sess *exec.Session // built lazily on the first same-shape point
+		return func(iterations int64) (core.RunStats, error) {
+			fresh := mkGraph(iterations)
+			if !sameShape(fresh, template) {
+				// The family varies the DAG shape with the iteration
+				// count, so a prebuilt plan does not apply; fall back
+				// to a correct per-point rebuild.
+				return rt.Run(core.NewApp(fresh))
+			}
+			if sess == nil {
+				sess = exec.NewSession(core.NewApp(template), pb.Policy())
+			}
+			template.Kernel = fresh.Kernel
+			return sess.Run()
+		}
+	}
+	return func(iterations int64) (core.RunStats, error) {
+		return rt.Run(core.NewApp(mkGraph(iterations)))
+	}
+}
+
+// sameShape reports whether two graphs of a sweep family differ only
+// in their kernel configuration, i.e. share the exact DAG topology a
+// reusable plan was built for.
+func sameShape(a, b *core.Graph) bool {
+	pa, pb := a.Params, b.Params
+	pa.Kernel, pb.Kernel = kernels.Config{}, kernels.Config{}
+	return pa == pb
+}
 
 // Point is one measurement of the efficiency-vs-granularity curve.
 type Point struct {

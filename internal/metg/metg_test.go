@@ -5,6 +5,10 @@ import (
 	"time"
 
 	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+	"taskbench/internal/runtime"
+	_ "taskbench/internal/runtime/serial"
+	_ "taskbench/internal/runtime/taskpool"
 )
 
 // syntheticRunner models a runtime with a fixed per-task overhead: a
@@ -135,5 +139,63 @@ func TestCurveShape(t *testing.T) {
 	// Granularity shrinks too.
 	if points[len(points)-1].Granularity >= points[0].Granularity {
 		t.Error("granularity did not shrink with problem size")
+	}
+}
+
+func TestBackendSweepReusesEnginePlan(t *testing.T) {
+	mkGraph := func(iterations int64) *core.Graph {
+		return core.MustNew(core.Params{
+			Timesteps: 10, MaxWidth: 4, Dependence: core.Stencil1D,
+			Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: iterations},
+		})
+	}
+	// taskpool is engine-backed (session reuse path); serial is not
+	// (rebuild path). Both must produce correct per-point stats.
+	for _, name := range []string{"taskpool", "serial"} {
+		rt, err := runtime.New(name)
+		if err != nil {
+			t.Fatalf("runtime.New(%q): %v", name, err)
+		}
+		sweep := BackendSweep(rt, mkGraph)
+		want := mkGraph(1).TotalTasks()
+		for _, it := range []int64{64, 16, 4} {
+			st, err := sweep(it)
+			if err != nil {
+				t.Fatalf("%s sweep at %d iterations: %v", name, it, err)
+			}
+			if st.Tasks != want {
+				t.Errorf("%s at %d iterations: tasks = %d, want %d", name, it, st.Tasks, want)
+			}
+			// Flops must track the mutated iteration count, proving the
+			// kernel configuration was applied to the reused plan.
+			if wantFlops := mkGraph(it).Kernel.FlopsPerTask() * float64(want); st.Flops != wantFlops {
+				t.Errorf("%s at %d iterations: flops = %v, want %v", name, it, st.Flops, wantFlops)
+			}
+		}
+	}
+}
+
+// A family that varies the DAG shape with the iteration count must
+// fall back to per-point rebuilds on engine-backed backends instead of
+// silently measuring the frozen template shape.
+func TestBackendSweepShapeChangeFallsBack(t *testing.T) {
+	rt, err := runtime.New("taskpool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := BackendSweep(rt, func(iterations int64) *core.Graph {
+		return core.MustNew(core.Params{
+			Timesteps: int(4 + iterations), MaxWidth: 4, Dependence: core.Stencil1D,
+			Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: iterations},
+		})
+	})
+	for _, it := range []int64{8, 2} {
+		st, err := sweep(it)
+		if err != nil {
+			t.Fatalf("sweep at %d iterations: %v", it, err)
+		}
+		if want := int64(4+it) * 4; st.Tasks != want {
+			t.Errorf("at %d iterations: tasks = %d, want %d (shape must track the family)", it, st.Tasks, want)
+		}
 	}
 }

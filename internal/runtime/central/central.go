@@ -1,15 +1,17 @@
 // Package central implements the centralized-controller analog of
 // Spark and Dask (paper §3.3, §3.11): a single controller goroutine
-// owns the entire scheduling state — dependence counters and the ready
-// list — and workers round-trip to it for every task grant and every
-// completion notification. The controller is a throughput bottleneck
-// that grows with the number of workers, which is why the paper's
-// Figure 9 shows Spark's METG rising immediately with node count.
+// owns the entire scheduling state — the ready list and the grant
+// queue — and workers round-trip to it for every task grant and every
+// batch of newly ready tasks. The controller is a throughput
+// bottleneck that grows with the number of workers, which is why the
+// paper's Figure 9 shows Spark's METG rising immediately with node
+// count.
+//
+// The worker pool, counter burn-down and buffer lifetime live in the
+// shared exec.Engine; this package contributes only the grant policy.
 package central
 
 import (
-	"sync"
-
 	"taskbench/internal/core"
 	"taskbench/internal/runtime"
 	"taskbench/internal/runtime/exec"
@@ -35,92 +37,97 @@ func (rt) Info() runtime.Info {
 	}
 }
 
-// request is a worker asking the controller for its next task.
-type request struct {
-	completed int32 // task the worker just finished, or -1
-	reply     chan int32
+// msg is one worker→controller round-trip: a batch of newly ready
+// tasks, a request for the next grant, or both are nil-checked apart.
+type msg struct {
+	ready []int32
+	reply chan int32
 }
+
+// policy funnels every scheduling decision through one controller
+// goroutine, mirroring the Spark driver. Pushes copy their batch (the
+// handoff models serializing state to the driver); grants return one
+// task per round-trip.
+type policy struct {
+	msgs    chan msg
+	done    chan struct{}
+	replies []chan int32
+	batch   [][1]int32
+}
+
+func (p *policy) Init(plan *exec.Plan, workers int) {
+	p.msgs = make(chan msg)
+	p.done = make(chan struct{})
+	p.replies = make([]chan int32, workers)
+	p.batch = make([][1]int32, workers)
+	for w := range p.replies {
+		p.replies[w] = make(chan int32, 1)
+	}
+	go p.controller(append([]int32(nil), plan.Seeds...), workers)
+}
+
+// controller is the only goroutine that touches the ready list. It
+// serves until every worker has received its shutdown grant (-1), so
+// late pushes and requests never block a worker.
+func (p *policy) controller(ready []int32, workers int) {
+	var waiting []chan int32
+	closed := false
+	served := 0
+	for served < workers {
+		if closed {
+			m := <-p.msgs
+			if m.reply != nil {
+				m.reply <- -1
+				served++
+			}
+			continue
+		}
+		select {
+		case m := <-p.msgs:
+			ready = append(ready, m.ready...)
+			if m.reply != nil {
+				waiting = append(waiting, m.reply)
+			}
+		case <-p.done:
+			closed = true
+			for _, reply := range waiting {
+				reply <- -1
+				served++
+			}
+			waiting = nil
+			continue
+		}
+		for len(waiting) > 0 && len(ready) > 0 {
+			waiting[0] <- ready[0]
+			waiting = waiting[1:]
+			ready = ready[1:]
+		}
+	}
+}
+
+// Push ships the ready batch to the controller. The copy models the
+// completion message a Spark executor sends to the driver.
+func (p *policy) Push(worker int, ids []int32) {
+	p.msgs <- msg{ready: append([]int32(nil), ids...)}
+}
+
+func (p *policy) Pop(worker int) ([]int32, bool) {
+	p.msgs <- msg{reply: p.replies[worker]}
+	id := <-p.replies[worker]
+	if id < 0 {
+		return nil, false
+	}
+	p.batch[worker][0] = id
+	return p.batch[worker][:], true
+}
+
+func (p *policy) Close() { close(p.done) }
+
+func (rt) Policy() exec.Policy { return &policy{} }
 
 func (rt) Run(app *core.App) (core.RunStats, error) {
 	workers := exec.WorkersFor(app)
-	var firstErr exec.ErrOnce
 	return exec.Measure(app, workers, func() error {
-		plan := exec.BuildPlan(app)
-		pools := exec.NewPools(app)
-		out := make([]*exec.Buf, len(plan.Tasks))
-
-		requests := make(chan request)
-		var wg sync.WaitGroup
-
-		// The controller: the only goroutine that touches scheduling
-		// state, mirroring the Spark driver.
-		go func() {
-			ready := append([]int32(nil), plan.Seeds...)
-			remaining := plan.TaskCount()
-			var waiting []chan int32
-			grant := func() {
-				for len(waiting) > 0 && len(ready) > 0 {
-					reply := waiting[0]
-					waiting = waiting[1:]
-					id := ready[0]
-					ready = ready[1:]
-					reply <- id
-				}
-			}
-			for remaining > 0 {
-				req := <-requests
-				if req.completed >= 0 {
-					remaining--
-					for _, cons := range plan.Tasks[req.completed].Consumers {
-						// Counters are owned by the controller; no
-						// atomicity needed, but the field is atomic
-						// for plan reuse across backends.
-						if plan.Tasks[cons].Counter.Add(-1) == 0 {
-							ready = append(ready, cons)
-						}
-					}
-				}
-				if req.reply != nil {
-					waiting = append(waiting, req.reply)
-				}
-				grant()
-			}
-			// Drain: tell every waiting worker to exit, then keep
-			// answering until all workers have gone.
-			for _, reply := range waiting {
-				reply <- -1
-			}
-			for req := range requests {
-				if req.reply != nil {
-					req.reply <- -1
-				}
-			}
-		}()
-
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				reply := make(chan int32, 1)
-				last := int32(-1)
-				var inputs [][]byte
-				for {
-					requests <- request{completed: last, reply: reply}
-					id := <-reply
-					if id < 0 {
-						return
-					}
-					var err error
-					inputs, err = plan.Execute(id, out, pools, app.Validate && !firstErr.Failed(), inputs)
-					if err != nil {
-						firstErr.Set(err)
-					}
-					last = id
-				}
-			}()
-		}
-		wg.Wait()
-		close(requests)
-		return firstErr.Err()
+		return exec.NewEngine(exec.BuildPlan(app), &policy{}, workers).Run(app.Validate)
 	})
 }

@@ -6,14 +6,10 @@ import (
 	"taskbench/internal/runtime/runtimetest"
 )
 
-func TestConformance(t *testing.T) {
-	runtimetest.Conformance(t, "central")
+func TestPolicyConformance(t *testing.T) {
+	runtimetest.PolicyConformance(t, "central")
 }
 
 func TestRepeat(t *testing.T) {
 	runtimetest.Repeat(t, "central", 5)
-}
-
-func TestFaultInjection(t *testing.T) {
-	runtimetest.FaultInjection(t, "central")
 }

@@ -5,6 +5,11 @@
 // inputs have triggered. The whole event graph is wired up front,
 // modeling Realm's subgraph optimization, and execution is fully
 // asynchronous across timesteps and graphs.
+//
+// The worker pool, buffer lifetime and error capture live in the
+// shared exec.Engine; this package contributes the event wiring. It
+// implements exec.Completer, so readiness propagates through event
+// triggers rather than the engine's counter burn-down.
 package events
 
 import (
@@ -72,81 +77,83 @@ func (e *Event) Trigger() {
 	}
 }
 
+// policy wires one completion Event per task and subscribes each task
+// to its scheduling predecessors; triggered countdowns feed a ready
+// channel sized for the whole DAG so triggers never block.
+type policy struct {
+	ready  chan int32
+	events []*Event
+	batch  [][1]int32
+}
+
+func (p *policy) Init(plan *exec.Plan, workers int) {
+	p.ready = make(chan int32, plan.TaskCount())
+	p.events = make([]*Event, len(plan.Tasks))
+	p.batch = make([][1]int32, workers)
+	for id := range plan.Tasks {
+		if plan.Tasks[id].Exists {
+			p.events[id] = &Event{}
+		}
+	}
+	// Wire the event graph: each task subscribes to the completion
+	// events of its scheduling predecessors via a countdown.
+	for id := range plan.Tasks {
+		task := &plan.Tasks[id]
+		if !task.Exists {
+			continue
+		}
+		id32 := int32(id)
+		n := task.Counter.Load()
+		if n == 0 {
+			p.ready <- id32
+			continue
+		}
+		countdown := func() {
+			if task.Counter.Add(-1) == 0 {
+				p.ready <- id32
+			}
+		}
+		for _, prodID := range task.Inputs {
+			p.events[prodID].Subscribe(countdown)
+		}
+		// Scratch-serialization edges are scheduling-only
+		// predecessors not present in Inputs.
+		extra := int(n) - len(task.Inputs)
+		if extra > 0 {
+			prev := plan.ID(int(task.Graph), int(task.T)-1, int(task.I))
+			for k := 0; k < extra; k++ {
+				p.events[prev].Subscribe(countdown)
+			}
+		}
+	}
+}
+
+// Push is never called: the policy implements exec.Completer, so
+// readiness propagates through event triggers.
+func (p *policy) Push(worker int, ids []int32) {}
+
+func (p *policy) Pop(worker int) ([]int32, bool) {
+	id, ok := <-p.ready
+	if !ok {
+		return nil, false
+	}
+	p.batch[worker][0] = id
+	return p.batch[worker][:], true
+}
+
+// Complete triggers the task's completion event, running the countdown
+// of every subscribed consumer.
+func (p *policy) Complete(worker int, id int32) {
+	p.events[id].Trigger()
+}
+
+func (p *policy) Close() { close(p.ready) }
+
+func (rt) Policy() exec.Policy { return &policy{} }
+
 func (rt) Run(app *core.App) (core.RunStats, error) {
 	workers := exec.WorkersFor(app)
-	var firstErr exec.ErrOnce
 	return exec.Measure(app, workers, func() error {
-		plan := exec.BuildPlan(app)
-		pools := exec.NewPools(app)
-		out := make([]*exec.Buf, len(plan.Tasks))
-		total := plan.TaskCount()
-
-		// ready is large enough to hold every task, so Trigger
-		// callbacks never block.
-		ready := make(chan int32, total)
-		events := make([]*Event, len(plan.Tasks))
-		for id := range plan.Tasks {
-			if plan.Tasks[id].Exists {
-				events[id] = &Event{}
-			}
-		}
-		// Wire the event graph: each task subscribes to the completion
-		// events of its scheduling predecessors via a countdown.
-		for id := range plan.Tasks {
-			task := &plan.Tasks[id]
-			if !task.Exists {
-				continue
-			}
-			id32 := int32(id)
-			n := task.Counter.Load()
-			if n == 0 {
-				ready <- id32
-				continue
-			}
-			countdown := func() {
-				if task.Counter.Add(-1) == 0 {
-					ready <- id32
-				}
-			}
-			for _, prodID := range task.Inputs {
-				events[prodID].Subscribe(countdown)
-			}
-			// Scratch-serialization edges are scheduling-only
-			// predecessors not present in Inputs.
-			extra := int(n) - len(task.Inputs)
-			if extra > 0 {
-				prev := plan.ID(int(task.Graph), int(task.T)-1, int(task.I))
-				for k := 0; k < extra; k++ {
-					events[prev].Subscribe(countdown)
-				}
-			}
-		}
-
-		var done sync.WaitGroup
-		done.Add(int(total))
-		go func() {
-			done.Wait()
-			close(ready)
-		}()
-
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var inputs [][]byte
-				for id := range ready {
-					var err error
-					inputs, err = plan.Execute(id, out, pools, app.Validate && !firstErr.Failed(), inputs)
-					if err != nil {
-						firstErr.Set(err)
-					}
-					events[id].Trigger()
-					done.Done()
-				}
-			}()
-		}
-		wg.Wait()
-		return firstErr.Err()
+		return exec.NewEngine(exec.BuildPlan(app), &policy{}, workers).Run(app.Validate)
 	})
 }

@@ -7,8 +7,8 @@ import (
 	"taskbench/internal/runtime/runtimetest"
 )
 
-func TestConformance(t *testing.T) {
-	runtimetest.Conformance(t, "events")
+func TestPolicyConformance(t *testing.T) {
+	runtimetest.PolicyConformance(t, "events")
 }
 
 func TestRepeat(t *testing.T) {
@@ -41,8 +41,4 @@ func TestEventSubscribeAfterTrigger(t *testing.T) {
 	if fired.Load() != 1 {
 		t.Errorf("late subscriber fired = %d, want 1 (immediate)", fired.Load())
 	}
-}
-
-func TestFaultInjection(t *testing.T) {
-	runtimetest.FaultInjection(t, "events")
 }

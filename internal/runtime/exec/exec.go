@@ -1,8 +1,10 @@
-// Package exec provides the small shared substrate used by every
-// runtime backend: worker accounting, block distribution of columns
-// over ranks, first-error capture, a cyclic barrier, an unbounded
-// mailbox, and double-buffered payload rows. Keeping these here keeps
-// each backend focused on its scheduling paradigm, mirroring how the
+// Package exec provides the shared substrate used by every runtime
+// backend: the Engine/Policy scheduler core and the reusable,
+// parallel-built task-DAG Plan it executes (engine.go, policy.go,
+// plan.go), plus worker accounting, block distribution of columns over
+// ranks, first-error capture, a cyclic barrier, an unbounded mailbox,
+// and double-buffered payload rows. Keeping these here keeps each
+// backend focused on its scheduling paradigm, mirroring how the
 // paper's core library absorbs everything shared between systems.
 package exec
 
@@ -39,16 +41,16 @@ func WorkersFor(app *core.App) int {
 
 // Measure runs body, filling in the timing fields of the app's
 // statistics. workers is recorded for task-granularity computation.
+// On failure the partially filled statistics (Elapsed, Workers and the
+// static task counts) are returned alongside the error, so callers can
+// still report how long a failed run took and at what parallelism.
 func Measure(app *core.App, workers int, body func() error) (core.RunStats, error) {
 	stats := core.StatsFor(app)
 	stats.Workers = workers
 	start := time.Now()
 	err := body()
 	stats.Elapsed = time.Since(start)
-	if err != nil {
-		return core.RunStats{}, err
-	}
-	return stats, nil
+	return stats, err
 }
 
 // ErrOnce records the first error reported by any worker and exposes a

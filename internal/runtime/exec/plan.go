@@ -1,6 +1,8 @@
 package exec
 
 import (
+	stdruntime "runtime"
+	"sync"
 	"sync/atomic"
 
 	"taskbench/internal/core"
@@ -20,8 +22,9 @@ import (
 // as a read-write region of the column. The extra edge carries no
 // payload.
 //
-// A Plan is single-use: the dependence counters burn down as the run
-// progresses.
+// The dependence counters burn down as a run progresses; Reset
+// restores them, so one Plan can serve many runs (an METG sweep
+// measures the same DAG at every point of the granularity curve).
 type Plan struct {
 	App   *core.App
 	Tasks []PlannedTask
@@ -29,6 +32,9 @@ type Plan struct {
 	Seeds []int32
 	// base[gi] is the ID offset of graph gi.
 	base []int32
+	// initCount[id] is the initial dependence-counter value of task
+	// id, kept so Reset can restore a drained plan.
+	initCount []int32
 	// scratch[gi][i] is the persistent working set of column i.
 	scratch [][]*kernels.Scratch
 }
@@ -54,7 +60,14 @@ type PlannedTask struct {
 	PayloadRefs int32
 }
 
-// BuildPlan expands every graph of the app into a single DAG.
+// buildParallelThreshold is the task count below which BuildPlan stays
+// on one goroutine; tiny plans are not worth the fan-out.
+const buildParallelThreshold = 4096
+
+// BuildPlan expands every graph of the app into a single DAG. Columns
+// are expanded in parallel: each task's inputs come from the forward
+// dependence relation and its consumers from the reverse relation, so
+// every goroutine writes only the tasks of its own columns.
 func BuildPlan(app *core.App) *Plan {
 	p := &Plan{App: app}
 	total := int32(0)
@@ -64,53 +77,143 @@ func BuildPlan(app *core.App) *Plan {
 		p.base[gi] = total
 		total += int32(g.Timesteps * g.MaxWidth)
 		p.scratch[gi] = make([]*kernels.Scratch, g.MaxWidth)
-		for i := 0; i < g.MaxWidth; i++ {
-			p.scratch[gi][i] = kernels.NewScratch(g.ScratchBytes)
-		}
 	}
 	p.Tasks = make([]PlannedTask, total)
+	p.initCount = make([]int32, total)
 
+	// One job per (graph, column span). The reverse-dependence tables
+	// are built eagerly so workers only read shared graph state.
+	type job struct {
+		gi     int
+		lo, hi int
+	}
+	var jobs []job
+	workers := stdruntime.GOMAXPROCS(0)
+	if app.TotalTasks() < buildParallelThreshold {
+		workers = 1
+	}
 	for gi, g := range app.Graphs {
-		serializeColumns := g.ScratchBytes > 0
-		for t := 0; t < g.Timesteps; t++ {
-			off := g.OffsetAtTimestep(t)
-			w := g.WidthAtTimestep(t)
-			for i := off; i < off+w; i++ {
-				id := p.ID(gi, t, i)
-				task := &p.Tasks[id]
-				task.Exists = true
-				task.Graph = int32(gi)
-				task.T = int32(t)
-				task.I = int32(i)
-
-				deps := g.DependenciesForPoint(t, i)
-				nDeps := 0
-				selfDep := false
-				deps.ForEach(func(dep int) {
-					prodID := p.ID(gi, t-1, dep)
-					task.Inputs = append(task.Inputs, prodID)
-					prod := &p.Tasks[prodID]
-					prod.Consumers = append(prod.Consumers, id)
-					prod.PayloadRefs++
-					nDeps++
-					if dep == i {
-						selfDep = true
-					}
-				})
-				// Scratch serialization edge (no payload).
-				if serializeColumns && !selfDep && t > 0 && g.ContainsPoint(t-1, i) {
-					prodID := p.ID(gi, t-1, i)
-					p.Tasks[prodID].Consumers = append(p.Tasks[prodID].Consumers, id)
-					nDeps++
-				}
-				task.Counter.Store(int32(nDeps))
-				if nDeps == 0 {
-					p.Seeds = append(p.Seeds, id)
-				}
+		g.PrecomputeReverse()
+		n := workers
+		if n > g.MaxWidth {
+			n = g.MaxWidth
+		}
+		for _, span := range BlockAssign(g.MaxWidth, n) {
+			if span.Len() > 0 {
+				jobs = append(jobs, job{gi, span.Lo, span.Hi})
 			}
 		}
 	}
+
+	seedParts := make([][]int32, len(jobs))
+	if workers == 1 || len(jobs) == 1 {
+		for k, j := range jobs {
+			seedParts[k] = p.fillColumns(j.gi, j.lo, j.hi)
+		}
+	} else {
+		// A bounded pool over the job list: multi-graph apps produce
+		// up to workers jobs per graph, and spawning them all at once
+		// would oversubscribe the scheduler.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < min(workers, len(jobs)); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(jobs) {
+						return
+					}
+					seedParts[k] = p.fillColumns(jobs[k].gi, jobs[k].lo, jobs[k].hi)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, part := range seedParts {
+		p.Seeds = append(p.Seeds, part...)
+	}
 	return p
+}
+
+// fillColumns expands columns [lo, hi) of graph gi, returning the seed
+// tasks found. It writes only tasks of its own columns: inputs are
+// read off the forward dependence relation and consumers off the
+// reverse relation, which the core library guarantees are exact
+// inverses of each other.
+func (p *Plan) fillColumns(gi, lo, hi int) []int32 {
+	g := p.App.Graphs[gi]
+	serializeColumns := g.ScratchBytes > 0
+	var seeds []int32
+	for i := lo; i < hi; i++ {
+		p.scratch[gi][i] = kernels.NewScratch(g.ScratchBytes)
+		for t := 0; t < g.Timesteps; t++ {
+			if !g.ContainsPoint(t, i) {
+				continue
+			}
+			id := p.ID(gi, t, i)
+			task := &p.Tasks[id]
+			task.Exists = true
+			task.Graph = int32(gi)
+			task.T = int32(t)
+			task.I = int32(i)
+
+			nDeps := 0
+			selfDep := false
+			g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+				task.Inputs = append(task.Inputs, p.ID(gi, t-1, dep))
+				nDeps++
+				if dep == i {
+					selfDep = true
+				}
+			})
+			// Scratch serialization edge from the column's previous
+			// task (no payload).
+			if serializeColumns && !selfDep && t > 0 && g.ContainsPoint(t-1, i) {
+				nDeps++
+			}
+
+			refs := int32(0)
+			g.ReverseDependenciesForPoint(t, i).ForEach(func(cons int) {
+				task.Consumers = append(task.Consumers, p.ID(gi, t+1, cons))
+				refs++
+			})
+			task.PayloadRefs = refs
+			// Mirror of the serialization edge: this task schedules the
+			// column's next task when that task does not already
+			// consume this one.
+			if serializeColumns && g.ContainsPoint(t+1, i) {
+				consumesSelf := false
+				g.DependenciesForPoint(t+1, i).ForEach(func(dep int) {
+					if dep == i {
+						consumesSelf = true
+					}
+				})
+				if !consumesSelf {
+					task.Consumers = append(task.Consumers, p.ID(gi, t+1, i))
+				}
+			}
+
+			task.Counter.Store(int32(nDeps))
+			p.initCount[id] = int32(nDeps)
+			if nDeps == 0 {
+				seeds = append(seeds, id)
+			}
+		}
+	}
+	return seeds
+}
+
+// Reset restores the dependence counters of a drained plan, making it
+// ready for another run without rebuilding the O(tasks) DAG. The seed
+// list, inputs, consumers and payload reference counts are immutable,
+// so only the counters need restoring. Scratch buffers keep their
+// contents: they model persistent per-column working sets.
+func (p *Plan) Reset() {
+	for id := range p.Tasks {
+		p.Tasks[id].Counter.Store(p.initCount[id])
+	}
 }
 
 // ID maps (graph, timestep, column) to the task's DAG index.

@@ -6,14 +6,10 @@ import (
 	"taskbench/internal/runtime/runtimetest"
 )
 
-func TestConformance(t *testing.T) {
-	runtimetest.Conformance(t, "graphexec")
+func TestPolicyConformance(t *testing.T) {
+	runtimetest.PolicyConformance(t, "graphexec")
 }
 
 func TestRepeat(t *testing.T) {
 	runtimetest.Repeat(t, "graphexec", 5)
-}
-
-func TestFaultInjection(t *testing.T) {
-	runtimetest.FaultInjection(t, "graphexec")
 }

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"taskbench/internal/core"
+	"taskbench/internal/runtime/exec"
 )
 
 // Runtime executes Task Bench applications under one scheduling
@@ -31,6 +32,16 @@ type Runtime interface {
 	// timing statistics. Run reports an error if any task input fails
 	// validation or the app cannot be executed.
 	Run(app *core.App) (core.RunStats, error)
+}
+
+// PolicyBacked is implemented by the shared-memory DAG backends that
+// run through the shared exec.Engine. Policy returns a fresh instance
+// of the backend's scheduling policy, letting callers drive a reusable
+// exec.Session directly — an METG sweep builds one Plan per
+// configuration and reruns it at every measurement point instead of
+// paying O(tasks) reconstruction per point.
+type PolicyBacked interface {
+	Policy() exec.Policy
 }
 
 // Info is the backend metadata rendered into the paper's Table 3/4

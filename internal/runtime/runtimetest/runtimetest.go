@@ -3,16 +3,20 @@
 // against the dependence relation and every output is unique (paper
 // §2), a run that completes without error proves the backend delivered
 // exactly the right payloads to exactly the right tasks in every
-// pattern. Each backend's own test file invokes Conformance.
+// pattern. Each backend's own test file invokes Conformance (or
+// PolicyConformance for backends built on the shared exec.Engine,
+// which additionally checks fault injection and Plan.Reset reuse).
 package runtimetest
 
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"taskbench/internal/core"
 	"taskbench/internal/kernels"
 	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
 )
 
 // Case is one conformance scenario.
@@ -198,6 +202,118 @@ func Conformance(t *testing.T, name string) {
 				t.Errorf("stats.Workers = %d, want > 0", stats.Workers)
 			}
 		})
+	}
+}
+
+// PolicyConformance is the conformance suite for backends built on the
+// shared exec.Engine: the full battery, the fault-injection error
+// path, scratch-column serialization under plan reuse, and Plan.Reset
+// reuse semantics. Each engine-backed backend's test file invokes it.
+func PolicyConformance(t *testing.T, name string) {
+	t.Helper()
+	Conformance(t, name)
+	t.Run("fault_injection", func(t *testing.T) { FaultInjection(t, name) })
+	t.Run("plan_reuse", func(t *testing.T) { PlanReuse(t, name) })
+	t.Run("plan_reuse_scratch", func(t *testing.T) { PlanReuseScratch(t, name) })
+	t.Run("empty_app", func(t *testing.T) { EmptyApp(t, name) })
+}
+
+// EmptyApp checks the zero-task path: an app with no graphs must
+// return immediately with zero tasks instead of deadlocking workers
+// that wait for a first task.
+func EmptyApp(t *testing.T, name string) {
+	t.Helper()
+	rt, err := runtime.New(name)
+	if err != nil {
+		t.Fatalf("runtime.New(%q): %v", name, err)
+	}
+	type result struct {
+		stats core.RunStats
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		st, err := rt.Run(core.NewApp())
+		done <- result{st, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("%s failed on an empty app: %v", name, r.err)
+		}
+		if r.stats.Tasks != 0 {
+			t.Errorf("stats.Tasks = %d, want 0", r.stats.Tasks)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s deadlocked on an empty app", name)
+	}
+}
+
+// policyFor fetches the backend's scheduling policy, failing the test
+// if the backend does not run through the shared engine.
+func policyFor(t *testing.T, name string) exec.Policy {
+	t.Helper()
+	rt, err := runtime.New(name)
+	if err != nil {
+		t.Fatalf("runtime.New(%q): %v", name, err)
+	}
+	pb, ok := rt.(runtime.PolicyBacked)
+	if !ok {
+		t.Fatalf("%s does not implement runtime.PolicyBacked", name)
+	}
+	return pb.Policy()
+}
+
+// PlanReuse runs one Session (one Plan, Reset between runs) several
+// times and asserts every run validates cleanly and reports identical
+// static statistics — the property METG sweeps rely on to drop the
+// per-point O(tasks) rebuild.
+func PlanReuse(t *testing.T, name string) {
+	t.Helper()
+	app := core.NewApp(
+		graph(0, core.Stencil1D, 8, 10, 0, 32),
+		graph(1, core.FFT, 8, 6, 0, 16),
+	)
+	app.Workers = 4
+	sess := exec.NewSession(app, policyFor(t, name))
+	var first core.RunStats
+	for k := 0; k < 4; k++ {
+		st, err := sess.Run()
+		if err != nil {
+			t.Fatalf("%s failed on reuse run %d: %v", name, k, err)
+		}
+		if st.Elapsed <= 0 {
+			t.Errorf("run %d: Elapsed = %v, want > 0", k, st.Elapsed)
+		}
+		if k == 0 {
+			first = st
+			continue
+		}
+		if st.Tasks != first.Tasks || st.Dependencies != first.Dependencies ||
+			st.Flops != first.Flops || st.Bytes != first.Bytes ||
+			st.Workers != first.Workers {
+			t.Errorf("run %d stats diverged: got %+v, want static fields of %+v", k, st, first)
+		}
+	}
+}
+
+// PlanReuseScratch reruns a Plan whose graph carries per-column
+// scratch: the serialization edges must hold up across Reset, and the
+// persistent working sets must not poison later runs.
+func PlanReuseScratch(t *testing.T, name string) {
+	t.Helper()
+	g := core.MustNew(core.Params{
+		Timesteps: 6, MaxWidth: 8, Dependence: core.NoComm,
+		Kernel:       kernels.Config{Type: kernels.MemoryBound, Iterations: 4, SpanBytes: 256},
+		ScratchBytes: 4096,
+	})
+	app := core.NewApp(g)
+	app.Workers = 4
+	sess := exec.NewSession(app, policyFor(t, name))
+	for k := 0; k < 3; k++ {
+		if _, err := sess.Run(); err != nil {
+			t.Fatalf("%s failed on scratch reuse run %d: %v", name, k, err)
+		}
 	}
 }
 

@@ -6,10 +6,12 @@
 // of extra queue synchronization at very small ones — exactly the
 // trade-off the paper observes between Chapel's default and distrib
 // schedulers.
+//
+// The worker pool, counter burn-down and buffer lifetime live in the
+// shared exec.Engine; this package contributes only the deque policy.
 package steal
 
 import (
-	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
 
@@ -38,99 +40,87 @@ func (rt) Info() runtime.Info {
 	}
 }
 
-// deque is a mutex-guarded work-stealing deque. Local pops take the
-// newest task; thieves take the oldest.
+// deque is one worker's mutex-guarded work-stealing deque: local pops
+// take the newest tasks, thieves take the oldest.
 type deque struct {
 	mu    sync.Mutex
 	items []int32
+	// rng is the owner's deterministic victim-selection state.
+	rng uint64
+	// buf is the owner's reusable pop buffer.
+	buf [1]int32
 }
 
-func (d *deque) push(id int32) {
+// policy holds the per-worker deques. Pop never blocks: when no work
+// is found locally or at a random victim, it returns an empty batch
+// and the engine spins the worker.
+type policy struct {
+	deques []deque
+	closed atomic.Bool
+}
+
+func (p *policy) Init(plan *exec.Plan, workers int) {
+	p.deques = make([]deque, workers)
+	p.closed.Store(false)
+	for w := range p.deques {
+		// Deterministic per-worker victim sequence.
+		p.deques[w].rng = uint64(w)*0x9e3779b97f4a7c15 + 1
+	}
+	// Seed round-robin so initial work is spread out.
+	for k, id := range plan.Seeds {
+		d := &p.deques[k%workers]
+		d.items = append(d.items, id)
+	}
+}
+
+// Push appends the whole ready batch to the worker's own deque under
+// one lock — the newly ready tasks share inputs with the task that
+// produced them, so keeping them local preserves locality.
+func (p *policy) Push(worker int, ids []int32) {
+	d := &p.deques[worker]
 	d.mu.Lock()
-	d.items = append(d.items, id)
+	d.items = append(d.items, ids...)
 	d.mu.Unlock()
 }
 
-func (d *deque) popNewest() (int32, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := len(d.items)
-	if n == 0 {
-		return 0, false
+func (p *policy) Pop(worker int) ([]int32, bool) {
+	if p.closed.Load() {
+		return nil, false
 	}
-	id := d.items[n-1]
-	d.items = d.items[:n-1]
-	return id, true
+	d := &p.deques[worker]
+	d.mu.Lock()
+	if n := len(d.items); n > 0 {
+		d.buf[0] = d.items[n-1]
+		d.items = d.items[:n-1]
+		d.mu.Unlock()
+		return d.buf[:1], true
+	}
+	// Steal the oldest task from a pseudo-random victim.
+	d.rng = d.rng*6364136223846793005 + 1442695040888963407
+	victim := int(d.rng>>33) % len(p.deques)
+	d.mu.Unlock()
+	if victim == worker {
+		victim = (victim + 1) % len(p.deques)
+	}
+	v := &p.deques[victim]
+	v.mu.Lock()
+	if len(v.items) > 0 {
+		d.buf[0] = v.items[0]
+		v.items = v.items[1:]
+		v.mu.Unlock()
+		return d.buf[:1], true
+	}
+	v.mu.Unlock()
+	return nil, true // nothing found; the engine spins
 }
 
-func (d *deque) stealOldest() (int32, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.items) == 0 {
-		return 0, false
-	}
-	id := d.items[0]
-	d.items = d.items[1:]
-	return id, true
-}
+func (p *policy) Close() { p.closed.Store(true) }
+
+func (rt) Policy() exec.Policy { return &policy{} }
 
 func (rt) Run(app *core.App) (core.RunStats, error) {
 	workers := exec.WorkersFor(app)
-	var firstErr exec.ErrOnce
 	return exec.Measure(app, workers, func() error {
-		plan := exec.BuildPlan(app)
-		pools := exec.NewPools(app)
-		out := make([]*exec.Buf, len(plan.Tasks))
-		deques := make([]*deque, workers)
-		for w := range deques {
-			deques[w] = &deque{}
-		}
-		// Seed round-robin so initial work is spread out.
-		for k, id := range plan.Seeds {
-			deques[k%workers].push(id)
-		}
-
-		var remaining atomic.Int64
-		remaining.Store(plan.TaskCount())
-
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(self int) {
-				defer wg.Done()
-				// Deterministic per-worker victim sequence.
-				rng := uint64(self)*0x9e3779b97f4a7c15 + 1
-				var inputs [][]byte
-				for remaining.Load() > 0 {
-					id, ok := deques[self].popNewest()
-					if !ok {
-						// Steal from a pseudo-random victim.
-						rng = rng*6364136223846793005 + 1442695040888963407
-						victim := int(rng>>33) % workers
-						if victim == self {
-							victim = (victim + 1) % workers
-						}
-						id, ok = deques[victim].stealOldest()
-					}
-					if !ok {
-						stdruntime.Gosched()
-						continue
-					}
-					var err error
-					inputs, err = plan.Execute(id, out, pools, app.Validate && !firstErr.Failed(), inputs)
-					if err != nil {
-						firstErr.Set(err)
-					}
-					for _, cons := range plan.Tasks[id].Consumers {
-						if plan.Tasks[cons].Counter.Add(-1) == 0 {
-							deques[self].push(cons)
-						}
-					}
-					remaining.Add(-1)
-				}
-			}(w)
-		}
-		wg.Wait()
-		return firstErr.Err()
+		return exec.NewEngine(exec.BuildPlan(app), &policy{}, workers).Run(app.Validate)
 	})
 }

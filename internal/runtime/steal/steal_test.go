@@ -6,36 +6,10 @@ import (
 	"taskbench/internal/runtime/runtimetest"
 )
 
-func TestConformance(t *testing.T) {
-	runtimetest.Conformance(t, "steal")
+func TestPolicyConformance(t *testing.T) {
+	runtimetest.PolicyConformance(t, "steal")
 }
 
 func TestRepeat(t *testing.T) {
 	runtimetest.Repeat(t, "steal", 5)
-}
-
-func TestDeque(t *testing.T) {
-	var d deque
-	d.push(1)
-	d.push(2)
-	d.push(3)
-	if id, ok := d.popNewest(); !ok || id != 3 {
-		t.Errorf("popNewest = %d, %v; want 3, true", id, ok)
-	}
-	if id, ok := d.stealOldest(); !ok || id != 1 {
-		t.Errorf("stealOldest = %d, %v; want 1, true", id, ok)
-	}
-	if id, ok := d.popNewest(); !ok || id != 2 {
-		t.Errorf("popNewest = %d, %v; want 2, true", id, ok)
-	}
-	if _, ok := d.popNewest(); ok {
-		t.Error("popNewest on empty deque returned ok")
-	}
-	if _, ok := d.stealOldest(); ok {
-		t.Error("stealOldest on empty deque returned ok")
-	}
-}
-
-func TestFaultInjection(t *testing.T) {
-	runtimetest.FaultInjection(t, "steal")
 }

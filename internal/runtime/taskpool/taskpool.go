@@ -4,6 +4,9 @@
 // per-task counters. The central queue is simple and fair but becomes
 // a serialization point at very small task granularities — the same
 // contention effect the paper observes for task-dependency runtimes.
+//
+// The worker pool, counter burn-down and buffer lifetime live in the
+// shared exec.Engine; this package contributes only the queue policy.
 package taskpool
 
 import (
@@ -34,95 +37,64 @@ func (rt) Info() runtime.Info {
 	}
 }
 
-// queue is the central ready queue.
-type queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []int32
-	closed bool
+// policy is the central FIFO ready queue: one mutex-guarded list every
+// worker pushes to and pops from, in batches.
+type policy struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []int32
+	closed  bool
+	workers int
+	// batch[w] is worker w's reusable pop buffer.
+	batch [][]int32
 }
 
-func newQueue() *queue {
-	q := &queue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+func (p *policy) Init(plan *exec.Plan, workers int) {
+	p.cond = sync.NewCond(&p.mu)
+	p.items = append(p.items[:0], plan.Seeds...)
+	p.closed = false
+	p.workers = workers
+	p.batch = make([][]int32, workers)
 }
 
-func (q *queue) push(ids ...int32) {
-	q.mu.Lock()
-	q.items = append(q.items, ids...)
+func (p *policy) Push(worker int, ids []int32) {
+	p.mu.Lock()
+	p.items = append(p.items, ids...)
 	if len(ids) == 1 {
-		q.cond.Signal()
+		p.cond.Signal()
 	} else {
-		q.cond.Broadcast()
+		p.cond.Broadcast()
 	}
-	q.mu.Unlock()
+	p.mu.Unlock()
 }
 
-func (q *queue) pop() (int32, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
+func (p *policy) Pop(worker int) ([]int32, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.items) == 0 && !p.closed {
+		p.cond.Wait()
 	}
-	if len(q.items) == 0 {
-		return 0, false
+	if len(p.items) == 0 {
+		return nil, false
 	}
-	id := q.items[0]
-	q.items = q.items[1:]
-	return id, true
+	n := exec.FairShare(len(p.items), p.workers)
+	p.batch[worker] = append(p.batch[worker][:0], p.items[:n]...)
+	p.items = p.items[n:]
+	return p.batch[worker], true
 }
 
-func (q *queue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.cond.Broadcast()
-	q.mu.Unlock()
+func (p *policy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }
+
+func (rt) Policy() exec.Policy { return &policy{} }
 
 func (rt) Run(app *core.App) (core.RunStats, error) {
 	workers := exec.WorkersFor(app)
-	var firstErr exec.ErrOnce
 	return exec.Measure(app, workers, func() error {
-		plan := exec.BuildPlan(app)
-		pools := exec.NewPools(app)
-		out := make([]*exec.Buf, len(plan.Tasks))
-		q := newQueue()
-		q.push(plan.Seeds...)
-
-		var remaining sync.WaitGroup
-		remaining.Add(int(plan.TaskCount()))
-		go func() {
-			remaining.Wait()
-			q.close()
-		}()
-
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var inputs [][]byte
-				for {
-					id, ok := q.pop()
-					if !ok {
-						return
-					}
-					var err error
-					inputs, err = plan.Execute(id, out, pools, app.Validate && !firstErr.Failed(), inputs)
-					if err != nil {
-						firstErr.Set(err)
-					}
-					for _, cons := range plan.Tasks[id].Consumers {
-						if plan.Tasks[cons].Counter.Add(-1) == 0 {
-							q.push(cons)
-						}
-					}
-					remaining.Done()
-				}
-			}()
-		}
-		wg.Wait()
-		return firstErr.Err()
+		return exec.NewEngine(exec.BuildPlan(app), &policy{}, workers).Run(app.Validate)
 	})
 }

@@ -6,14 +6,10 @@ import (
 	"taskbench/internal/runtime/runtimetest"
 )
 
-func TestConformance(t *testing.T) {
-	runtimetest.Conformance(t, "taskpool")
+func TestPolicyConformance(t *testing.T) {
+	runtimetest.PolicyConformance(t, "taskpool")
 }
 
 func TestRepeat(t *testing.T) {
 	runtimetest.Repeat(t, "taskpool", 5)
-}
-
-func TestFaultInjection(t *testing.T) {
-	runtimetest.FaultInjection(t, "taskpool")
 }

@@ -434,6 +434,69 @@ func BenchmarkEngineSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkRankSweep compares a distributed efficiency-vs-granularity
+// sweep on the p2p backend with and without RankPlan reuse: "rebuild"
+// reconstructs spans, cross-rank edge lists, fabric channels and
+// payload rows at every point (the old behavior); "reuse" drives one
+// exec.RankSession whose RankPlan is Reset per point.
+func BenchmarkRankSweep(b *testing.B) {
+	// Wide and short with tiny kernels and a spread dependence
+	// pattern: the small-granularity, communication-rich regime where
+	// per-point setup (spans, cross-rank edge enumeration, fabric
+	// wiring, rows) dominates execution.
+	const steps, width = 8, 256
+	iters := []int64{8, 4, 2, 1}
+	params := func(it int64) core.Params {
+		return core.Params{
+			Timesteps: steps, MaxWidth: width, Dependence: core.Spread, Radix: 5,
+			Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: it},
+		}
+	}
+	mkApp := func(it int64) *core.App {
+		app := core.NewApp(core.MustNew(params(it)))
+		app.Workers = 4
+		return app
+	}
+	b.Run("rebuild", func(b *testing.B) {
+		rt, err := runtime.New("p2p")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			for _, it := range iters {
+				if _, err := rt.Run(mkApp(it)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		rt, err := runtime.New("p2p")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rb, ok := rt.(runtime.RankBacked)
+		if !ok {
+			b.Fatal("p2p is not rank-backed")
+		}
+		app := mkApp(1)
+		sess, err := exec.NewRankSession(app, rb.RankPolicy())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, it := range iters {
+				app.Graphs[0].Kernel.Iterations = it
+				if _, err := sess.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkMETGRealBackends measures true host-scale METG(50%) for the
 // fastest real backends — the measured analog of Figure 9a's 1-node
 // column.

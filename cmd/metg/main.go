@@ -62,13 +62,17 @@ func main() {
 		if w == 0 {
 			w = 4
 		}
-		// Engine-backed backends reuse one plan across the whole sweep.
-		sweep := metg.BackendSweep(rt, func(iterations int64) *core.Graph {
+		// Engine-backed backends reuse one plan across the whole
+		// sweep: shared-memory ones Reset an exec.Plan per point,
+		// rank-based ones Reset an exec.RankPlan (spans, cross-rank
+		// edges, fabric wiring) per point.
+		sweep, done := metg.BackendSweep(rt, func(iterations int64) *core.Graph {
 			return core.MustNew(core.Params{
 				Timesteps: *steps, MaxWidth: w, Dependence: dep, Radix: *radix,
 				Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: iterations},
 			})
 		})
+		defer done()
 		run = func(iterations int64) core.RunStats {
 			st, err := sweep(iterations)
 			if err != nil {

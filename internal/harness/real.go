@@ -42,12 +42,12 @@ func (c RealConfig) backends() []string {
 // workload of Figures 2/3/6/7. Engine-backed backends reuse one
 // Session — the plan is built once per configuration and Reset per
 // point — so the sweep measures scheduling, not DAG reconstruction.
-func realRunner(name string, cfg RealConfig) (metg.Runner, error) {
+func realRunner(name string, cfg RealConfig) (metg.Runner, func(), error) {
 	rt, err := runtime.New(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	sweep := metg.BackendSweep(rt, func(iterations int64) *core.Graph {
+	sweep, done := metg.BackendSweep(rt, func(iterations int64) *core.Graph {
 		return core.MustNew(core.Params{
 			Timesteps:  cfg.Steps,
 			MaxWidth:   cfg.Width,
@@ -61,7 +61,7 @@ func realRunner(name string, cfg RealConfig) (metg.Runner, error) {
 			panic(fmt.Sprintf("harness: %s failed: %v", name, err))
 		}
 		return st
-	}, nil
+	}, done, nil
 }
 
 // Fig6FlopsVsProblemSize measures Figure 6 (of which Figure 2 is the
@@ -74,7 +74,7 @@ func Fig6FlopsVsProblemSize(cfg RealConfig) (*Figure, error) {
 	}
 	iters := stats.GeomIters(cfg.MaxIters, 1, cfg.PerDoubling)
 	for _, name := range cfg.backends() {
-		run, err := realRunner(name, cfg)
+		run, done, err := realRunner(name, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -84,6 +84,7 @@ func Fig6FlopsVsProblemSize(cfg RealConfig) (*Figure, error) {
 			s.X = append(s.X, float64(it))
 			s.Y = append(s.Y, st.FlopsPerSecond()/1e9)
 		}
+		done()
 		fig.Series = append(fig.Series, s)
 	}
 	return fig, nil
@@ -100,7 +101,7 @@ func Fig7EfficiencyCurve(cfg RealConfig) (*Figure, error) {
 	cal := kernels.Calibrate()
 	iters := stats.GeomIters(cfg.MaxIters, 1, cfg.PerDoubling)
 	for _, name := range cfg.backends() {
-		run, err := realRunner(name, cfg)
+		run, done, err := realRunner(name, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -110,6 +111,7 @@ func Fig7EfficiencyCurve(cfg RealConfig) (*Figure, error) {
 			workers = st.Workers
 			return st
 		}, iters, 0, 0) // efficiency filled below with per-run peaks
+		done()
 		s := Series{Label: name}
 		for _, pt := range points {
 			if pt.Granularity <= 0 {
@@ -150,16 +152,18 @@ func Fig8MemoryBandwidth(cfg RealConfig) (*Figure, error) {
 		}
 		// Engine-backed backends amortize one plan (and its 4 MiB
 		// per-column scratch allocations) across the whole sweep.
-		run := metg.BackendSweep(rt, mkGraph)
+		run, done := metg.BackendSweep(rt, mkGraph)
 		s := Series{Label: name}
 		for _, it := range iters {
 			st, err := run(it)
 			if err != nil {
+				done()
 				return nil, fmt.Errorf("harness: %s: %w", name, err)
 			}
 			s.X = append(s.X, float64(it))
 			s.Y = append(s.Y, st.BytesPerSecond()/1e9)
 		}
+		done()
 		fig.Series = append(fig.Series, s)
 	}
 	return fig, nil
@@ -178,7 +182,7 @@ func RealMETG(cfg RealConfig) ([]RealMETGRow, error) {
 	cal := kernels.Calibrate()
 	var rows []RealMETGRow
 	for _, name := range cfg.backends() {
-		run, err := realRunner(name, cfg)
+		run, done, err := realRunner(name, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -186,6 +190,7 @@ func RealMETG(cfg RealConfig) ([]RealMETGRow, error) {
 		probe := run(1)
 		peak := cal.FlopsPerSecondPerCore * float64(probe.Workers)
 		m, _, ok := metg.Search(run, cfg.MaxIters, peak, 0, 0.5, cfg.PerDoubling)
+		done()
 		rows = append(rows, RealMETGRow{Backend: name, METG: m, Found: ok})
 	}
 	return rows, nil

@@ -31,32 +31,59 @@ type Runner func(iterations int64) core.RunStats
 // runtime backend over a graph family parameterized by iteration
 // count. A sweep measures the same task graph at every point of the
 // curve — only the per-task kernel size changes — so engine-backed
-// backends (runtime.PolicyBacked) reuse one exec.Session: the plan is
-// built once per configuration and Reset per point, instead of paying
-// O(tasks) DAG reconstruction per measurement. Other backends rebuild
-// the app at each point.
-func BackendSweep(rt runtime.Runtime, mkGraph func(iterations int64) *core.Graph) func(iterations int64) (core.RunStats, error) {
-	if pb, ok := rt.(runtime.PolicyBacked); ok {
-		template := mkGraph(1)
-		var sess *exec.Session // built lazily on the first same-shape point
+// backends reuse one session: shared-memory backends
+// (runtime.PolicyBacked) drive an exec.Session whose Plan is built
+// once per configuration and Reset per point, and rank-based backends
+// (runtime.RankBacked) drive an exec.RankSession whose RankPlan —
+// spans, cross-rank edge lists, fabric wiring, and for tcp the
+// connection mesh — is likewise paid once. Other backends rebuild the
+// app at each point.
+//
+// The second return value releases the reused session's resources
+// (for tcp, the live connection mesh); call it when the sweep is
+// done. It is always non-nil and safe to call more than once.
+func BackendSweep(rt runtime.Runtime, mkGraph func(iterations int64) *core.Graph) (run func(iterations int64) (core.RunStats, error), close func()) {
+	type session interface {
+		Run() (core.RunStats, error)
+	}
+	var open func(app *core.App) (session, error)
+	switch b := rt.(type) {
+	case runtime.PolicyBacked:
+		open = func(app *core.App) (session, error) { return exec.NewSession(app, b.Policy()), nil }
+	case runtime.RankBacked:
+		open = func(app *core.App) (session, error) { return exec.NewRankSession(app, b.RankPolicy()) }
+	default:
 		return func(iterations int64) (core.RunStats, error) {
-			fresh := mkGraph(iterations)
-			if !sameShape(fresh, template) {
-				// The family varies the DAG shape with the iteration
-				// count, so a prebuilt plan does not apply; fall back
-				// to a correct per-point rebuild.
-				return rt.Run(core.NewApp(fresh))
-			}
-			if sess == nil {
-				sess = exec.NewSession(core.NewApp(template), pb.Policy())
-			}
-			template.Kernel = fresh.Kernel
-			return sess.Run()
+			return rt.Run(core.NewApp(mkGraph(iterations)))
+		}, func() {}
+	}
+	template := mkGraph(1)
+	var sess session // built lazily on the first same-shape point
+	run = func(iterations int64) (core.RunStats, error) {
+		fresh := mkGraph(iterations)
+		if !sameShape(fresh, template) {
+			// The family varies the DAG shape with the iteration
+			// count, so a prebuilt plan does not apply; fall back
+			// to a correct per-point rebuild.
+			return rt.Run(core.NewApp(fresh))
 		}
+		if sess == nil {
+			s, err := open(core.NewApp(template))
+			if err != nil {
+				return core.RunStats{}, err
+			}
+			sess = s
+		}
+		template.Kernel = fresh.Kernel
+		return sess.Run()
 	}
-	return func(iterations int64) (core.RunStats, error) {
-		return rt.Run(core.NewApp(mkGraph(iterations)))
+	close = func() {
+		if closer, ok := sess.(interface{ Close() }); ok {
+			closer.Close()
+		}
+		sess = nil
 	}
+	return run, close
 }
 
 // sameShape reports whether two graphs of a sweep family differ only

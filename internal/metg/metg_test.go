@@ -7,6 +7,7 @@ import (
 	"taskbench/internal/core"
 	"taskbench/internal/kernels"
 	"taskbench/internal/runtime"
+	_ "taskbench/internal/runtime/p2p"
 	_ "taskbench/internal/runtime/serial"
 	_ "taskbench/internal/runtime/taskpool"
 )
@@ -156,7 +157,8 @@ func TestBackendSweepReusesEnginePlan(t *testing.T) {
 		if err != nil {
 			t.Fatalf("runtime.New(%q): %v", name, err)
 		}
-		sweep := BackendSweep(rt, mkGraph)
+		sweep, done := BackendSweep(rt, mkGraph)
+		defer done()
 		want := mkGraph(1).TotalTasks()
 		for _, it := range []int64{64, 16, 4} {
 			st, err := sweep(it)
@@ -175,6 +177,40 @@ func TestBackendSweepReusesEnginePlan(t *testing.T) {
 	}
 }
 
+// Rank-based backends must drive the sweep through a reused
+// RankSession: one RankPlan (spans, edges, fabric) per configuration,
+// with the mutated kernel applied at every point.
+func TestBackendSweepReusesRankPlan(t *testing.T) {
+	mkGraph := func(iterations int64) *core.Graph {
+		return core.MustNew(core.Params{
+			Timesteps: 10, MaxWidth: 4, Dependence: core.Stencil1D,
+			Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: iterations},
+		})
+	}
+	rt, err := runtime.New("p2p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.(runtime.RankBacked); !ok {
+		t.Fatal("p2p does not implement runtime.RankBacked")
+	}
+	sweep, done := BackendSweep(rt, mkGraph)
+	defer done()
+	want := mkGraph(1).TotalTasks()
+	for _, it := range []int64{64, 16, 4} {
+		st, err := sweep(it)
+		if err != nil {
+			t.Fatalf("p2p sweep at %d iterations: %v", it, err)
+		}
+		if st.Tasks != want {
+			t.Errorf("at %d iterations: tasks = %d, want %d", it, st.Tasks, want)
+		}
+		if wantFlops := mkGraph(it).Kernel.FlopsPerTask() * float64(want); st.Flops != wantFlops {
+			t.Errorf("at %d iterations: flops = %v, want %v", it, st.Flops, wantFlops)
+		}
+	}
+}
+
 // A family that varies the DAG shape with the iteration count must
 // fall back to per-point rebuilds on engine-backed backends instead of
 // silently measuring the frozen template shape.
@@ -183,12 +219,13 @@ func TestBackendSweepShapeChangeFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sweep := BackendSweep(rt, func(iterations int64) *core.Graph {
+	sweep, done := BackendSweep(rt, func(iterations int64) *core.Graph {
 		return core.MustNew(core.Params{
 			Timesteps: int(4 + iterations), MaxWidth: 4, Dependence: core.Stencil1D,
 			Kernel: kernels.Config{Type: kernels.ComputeBound, Iterations: iterations},
 		})
 	})
+	defer done()
 	for _, it := range []int64{8, 2} {
 		st, err := sweep(it)
 		if err != nil {

@@ -9,7 +9,6 @@ package bsp
 
 import (
 	"taskbench/internal/core"
-	"taskbench/internal/kernels"
 	"taskbench/internal/runtime"
 	"taskbench/internal/runtime/exec"
 )
@@ -35,86 +34,41 @@ func (rt) Info() runtime.Info {
 }
 
 func (rt) Run(app *core.App) (core.RunStats, error) {
-	ranks := exec.WorkersFor(app)
-	fabric := exec.NewFabric(app, ranks)
-	barrier := exec.NewBarrier(ranks)
-	var firstErr exec.ErrOnce
-	return exec.Measure(app, ranks, func() error {
-		done := make(chan struct{})
-		for r := 0; r < ranks; r++ {
-			go func(rank int) {
-				defer func() { done <- struct{}{} }()
-				runRank(app, fabric, barrier, rank, ranks, &firstErr)
-			}(r)
-		}
-		for r := 0; r < ranks; r++ {
-			<-done
-		}
-		return firstErr.Err()
-	})
+	return exec.RunRanks(app, policy{})
 }
 
-type rankState struct {
-	g       *core.Graph
-	span    exec.Span
-	rows    *exec.Rows
-	scratch []*kernels.Scratch
-}
+// RankPolicy implements runtime.RankBacked.
+func (rt) RankPolicy() exec.RankPolicy { return policy{} }
 
-func runRank(app *core.App, fabric *exec.Fabric, barrier *exec.Barrier, rank, ranks int, firstErr *exec.ErrOnce) {
-	states := make([]*rankState, len(app.Graphs))
-	maxSteps := 0
-	for gi, g := range app.Graphs {
-		span := exec.BlockAssign(g.MaxWidth, ranks)[rank]
-		st := &rankState{g: g, span: span, rows: exec.NewRows(g.MaxWidth, g.OutputBytes)}
-		st.scratch = make([]*kernels.Scratch, g.MaxWidth)
-		for i := span.Lo; i < span.Hi; i++ {
-			st.scratch[i] = kernels.NewScratch(g.ScratchBytes)
+// policy is the bulk-synchronous discipline: compute every owned task
+// of the step, then communicate every output, then hit the global
+// barrier.
+type policy struct{}
+
+func (policy) Layout(app *core.App) exec.RankLayout { return exec.FlatLayout(app) }
+
+func (policy) Step(rc *exec.RankCtx, t int) {
+	// Phase 1: receive and compute every owned task of the step.
+	for gi := 0; gi < rc.Graphs(); gi++ {
+		if !rc.Active(gi, t) {
+			continue
 		}
-		states[gi] = st
-		if g.Timesteps > maxSteps {
-			maxSteps = g.Timesteps
+		lo, hi := rc.Window(gi, t)
+		for i := lo; i < hi; i++ {
+			rc.Run(gi, t, i)
 		}
 	}
-
-	var inputs [][]byte
-	for t := 0; t < maxSteps; t++ {
-		// Phase 1: receive and compute every owned task of the step.
-		for gi, st := range states {
-			g := st.g
-			if t >= g.Timesteps {
-				continue
-			}
-			off := g.OffsetAtTimestep(t)
-			w := g.WidthAtTimestep(t)
-			lo := max(st.span.Lo, off)
-			hi := min(st.span.Hi, off+w)
-			for i := lo; i < hi; i++ {
-				inputs = fabric.GatherRankInputs(gi, g, t, i, st.span, st.rows.Prev, inputs)
-				out := st.rows.Cur(i)
-				err := g.ExecutePoint(t, i, out, inputs, st.scratch[i], app.Validate && !firstErr.Failed())
-				if err != nil {
-					firstErr.Set(err)
-					g.WriteOutput(t, i, out)
-				}
-			}
+	// Phase 2: communicate every output produced in the step.
+	for gi := 0; gi < rc.Graphs(); gi++ {
+		if !rc.Active(gi, t) {
+			continue
 		}
-		// Phase 2: communicate every output produced in the step.
-		for gi, st := range states {
-			g := st.g
-			if t >= g.Timesteps {
-				continue
-			}
-			off := g.OffsetAtTimestep(t)
-			w := g.WidthAtTimestep(t)
-			lo := max(st.span.Lo, off)
-			hi := min(st.span.Hi, off+w)
-			for i := lo; i < hi; i++ {
-				fabric.SendRemoteOutputs(gi, g, t, i, st.rows.Cur(i))
-			}
-			st.rows.Flip()
+		lo, hi := rc.Window(gi, t)
+		for i := lo; i < hi; i++ {
+			rc.SendOutputs(gi, t, i, rc.Cur(gi, i))
 		}
-		// Phase 3: global barrier.
-		barrier.Wait()
+		rc.Flip(gi)
 	}
+	// Phase 3: global barrier.
+	rc.Barrier()
 }

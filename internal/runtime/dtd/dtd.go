@@ -18,7 +18,6 @@ import (
 	"sync/atomic"
 
 	"taskbench/internal/core"
-	"taskbench/internal/kernels"
 	"taskbench/internal/runtime"
 	"taskbench/internal/runtime/exec"
 )
@@ -62,100 +61,67 @@ func (r rt) Info() runtime.Info {
 	}
 }
 
+func (r rt) Run(app *core.App) (core.RunStats, error) {
+	return exec.RunRanks(app, policy{shard: r.shard})
+}
+
+// RankPolicy implements runtime.RankBacked.
+func (r rt) RankPolicy() exec.RankPolicy { return policy{shard: r.shard} }
+
 // checkSink keeps the dynamic-check work observable so the compiler
 // cannot elide it.
 var checkSink atomic.Int64
 
-func (r rt) Run(app *core.App) (core.RunStats, error) {
-	ranks := exec.WorkersFor(app)
-	fabric := exec.NewFabric(app, ranks)
-	var firstErr exec.ErrOnce
-	return exec.Measure(app, ranks, func() error {
-		done := make(chan struct{})
-		for rank := 0; rank < ranks; rank++ {
-			go func(rank int) {
-				defer func() { done <- struct{}{} }()
-				r.runRank(app, fabric, rank, ranks, &firstErr)
-			}(rank)
-		}
-		for rank := 0; rank < ranks; rank++ {
-			<-done
-		}
-		return firstErr.Err()
-	})
+// policy is the SPMD discovery discipline. With shard=false every rank
+// walks the full graph width and dynamically classifies each task;
+// with shard=true discovery is pruned to the owned block (sends are
+// discovered from the owned side via reverse dependencies), which is
+// exactly the paper's manual optimization.
+type policy struct {
+	shard bool
 }
 
-type rankState struct {
-	g       *core.Graph
-	span    exec.Span
-	rows    *exec.Rows
-	scratch []*kernels.Scratch
-}
+func (policy) Layout(app *core.App) exec.RankLayout { return exec.FlatLayout(app) }
 
-func (r rt) runRank(app *core.App, fabric *exec.Fabric, rank, ranks int, firstErr *exec.ErrOnce) {
-	states := make([]*rankState, len(app.Graphs))
-	maxSteps := 0
-	for gi, g := range app.Graphs {
-		span := exec.BlockAssign(g.MaxWidth, ranks)[rank]
-		st := &rankState{g: g, span: span, rows: exec.NewRows(g.MaxWidth, g.OutputBytes)}
-		st.scratch = make([]*kernels.Scratch, g.MaxWidth)
-		for i := span.Lo; i < span.Hi; i++ {
-			st.scratch[i] = kernels.NewScratch(g.ScratchBytes)
-		}
-		states[gi] = st
-		if g.Timesteps > maxSteps {
-			maxSteps = g.Timesteps
-		}
-	}
-
-	var inputs [][]byte
+func (p policy) Step(rc *exec.RankCtx, t int) {
 	var checks int64
-	for t := 0; t < maxSteps; t++ {
-		for gi, st := range states {
-			g := st.g
-			if t >= g.Timesteps {
+	for gi := 0; gi < rc.Graphs(); gi++ {
+		if !rc.Active(gi, t) {
+			continue
+		}
+		g := rc.Graph(gi)
+		span := rc.Span(gi)
+
+		// Task discovery. DTD walks the full active width; shard walks
+		// only the owned window.
+		lo, hi := g.OffsetAtTimestep(t), g.OffsetAtTimestep(t)+g.WidthAtTimestep(t)
+		if p.shard {
+			lo, hi = rc.Window(gi, t)
+		}
+		for i := lo; i < hi; i++ {
+			if i < span.Lo || i >= span.Hi {
+				// Dynamic check: would this remote task exchange data
+				// with any column this rank owns? This scan is the
+				// per-task cost that grows with graph width and rank
+				// count.
+				touches := false
+				g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+					if dep >= span.Lo && dep < span.Hi {
+						touches = true
+					}
+				})
+				if touches {
+					checks++
+				}
 				continue
 			}
-			off := g.OffsetAtTimestep(t)
-			w := g.WidthAtTimestep(t)
-
-			// Task discovery. DTD walks the full width; shard walks
-			// only the owned block (plus nothing else — its sends are
-			// discovered from the owned side via reverse deps).
-			lo, hi := off, off+w
-			if r.shard {
-				lo = max(st.span.Lo, off)
-				hi = min(st.span.Hi, off+w)
-			}
-			for i := lo; i < hi; i++ {
-				owned := i >= st.span.Lo && i < st.span.Hi
-				if !owned {
-					// Dynamic check: would this remote task exchange
-					// data with any column this rank owns? This scan
-					// is the per-task cost that grows with graph
-					// width and rank count.
-					touches := false
-					g.DependenciesForPoint(t, i).ForEach(func(dep int) {
-						if dep >= st.span.Lo && dep < st.span.Hi {
-							touches = true
-						}
-					})
-					if touches {
-						checks++
-					}
-					continue
-				}
-				inputs = fabric.GatherRankInputs(gi, g, t, i, st.span, st.rows.Prev, inputs)
-				out := st.rows.Cur(i)
-				err := g.ExecutePoint(t, i, out, inputs, st.scratch[i], app.Validate && !firstErr.Failed())
-				if err != nil {
-					firstErr.Set(err)
-					g.WriteOutput(t, i, out)
-				}
-				fabric.SendRemoteOutputs(gi, g, t, i, out)
-			}
-			st.rows.Flip()
+			rc.SendOutputs(gi, t, i, rc.Run(gi, t, i))
 		}
+		rc.Flip(gi)
 	}
-	checkSink.Add(checks)
+	if checks != 0 {
+		// Skipped entirely by shard (which performs no checks), and
+		// kept off the timed path for check-free steps.
+		checkSink.Add(checks)
+	}
 }

@@ -7,12 +7,12 @@ import (
 	"taskbench/internal/runtime/runtimetest"
 )
 
-func TestConformanceDTD(t *testing.T) {
-	runtimetest.Conformance(t, "dtd")
+func TestRankPolicyConformanceDTD(t *testing.T) {
+	runtimetest.RankPolicyConformance(t, "dtd")
 }
 
-func TestConformanceShard(t *testing.T) {
-	runtimetest.Conformance(t, "shard")
+func TestRankPolicyConformanceShard(t *testing.T) {
+	runtimetest.RankPolicyConformance(t, "shard")
 }
 
 func TestRepeatDTD(t *testing.T) {
@@ -35,12 +35,4 @@ func TestInfoDistinguishesVariants(t *testing.T) {
 	if d.Name() == s.Name() || d.Info().Analog == s.Info().Analog {
 		t.Errorf("dtd and shard are not distinguished: %+v vs %+v", d.Info(), s.Info())
 	}
-}
-
-func TestFaultInjectionDTD(t *testing.T) {
-	runtimetest.FaultInjection(t, "dtd")
-}
-
-func TestFaultInjectionShard(t *testing.T) {
-	runtimetest.FaultInjection(t, "shard")
 }

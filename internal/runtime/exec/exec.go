@@ -30,7 +30,12 @@ func WorkersFor(app *core.App) int {
 	for _, g := range app.Graphs {
 		maxWidth += g.MaxWidth
 	}
-	if maxWidth > 0 && w > maxWidth {
+	if maxWidth == 0 {
+		// An app with no graphs needs no parallelism (and no fabric
+		// mesh of idle ranks).
+		return 1
+	}
+	if w > maxWidth {
 		w = maxWidth
 	}
 	if w < 1 {
@@ -240,6 +245,7 @@ type Rows struct {
 	prev, cur [][]byte
 	prevFlat  []byte
 	curFlat   []byte
+	flipped   bool
 }
 
 // NewRows allocates double buffers for a graph of the given width and
@@ -269,6 +275,16 @@ func (r *Rows) Cur(i int) []byte { return r.cur[i] }
 func (r *Rows) Flip() {
 	r.prev, r.cur = r.cur, r.prev
 	r.prevFlat, r.curFlat = r.curFlat, r.prevFlat
+	r.flipped = !r.flipped
+}
+
+// Rehome restores the orientation NewRows established, so a reused
+// RankPlan starts every run with identical buffer parity regardless of
+// how many timesteps the previous run flipped through.
+func (r *Rows) Rehome() {
+	if r.flipped {
+		r.Flip()
+	}
 }
 
 // GatherInputs appends the input payloads of task (t, i) drawn from

@@ -4,6 +4,38 @@ import (
 	"taskbench/internal/core"
 )
 
+// Edge is one dependence edge whose producer and consumer columns are
+// owned by different ranks — the unit every rank transport (channel
+// fabric or wire mesh) allocates a queue for.
+type Edge struct {
+	Producer, Consumer int
+}
+
+// CrossEdges calls fn once per distinct dependence edge of g crossing
+// a rank boundary under block distribution over the given rank count,
+// in deterministic order. It is the single edge enumeration shared by
+// the in-process Fabric and the tcp backend's wire transport, which
+// must agree exactly on which edges exist.
+func CrossEdges(g *core.Graph, ranks int, fn func(producer, consumer int)) {
+	seen := map[Edge]struct{}{}
+	for dset := 0; dset < g.MaxDependenceSets(); dset++ {
+		for i := 0; i < g.MaxWidth; i++ {
+			consRank := OwnerOf(i, g.MaxWidth, ranks)
+			g.Dependencies(dset, i).ForEach(func(j int) {
+				if j < 0 || j >= g.MaxWidth || OwnerOf(j, g.MaxWidth, ranks) == consRank {
+					return
+				}
+				e := Edge{Producer: j, Consumer: i}
+				if _, dup := seen[e]; dup {
+					return
+				}
+				seen[e] = struct{}{}
+				fn(j, i)
+			})
+		}
+	}
+}
+
 // Fabric is the point-to-point communication substrate for rank-based
 // backends (the analogs of MPI, PaRSEC and StarPU). Each dependence
 // edge that crosses a rank boundary gets a dedicated buffered channel,
@@ -12,7 +44,6 @@ import (
 // timestep order, so no tag matching is needed; payload headers are
 // still validated by the core library.
 type Fabric struct {
-	ranks int
 	// chans[g] maps consumer column -> producer column -> channel.
 	chans []map[int]map[int]chan []byte
 }
@@ -20,40 +51,50 @@ type Fabric struct {
 // edgeCap bounds the per-edge buffering, like MPI's eager buffers. A
 // producer more than edgeCap timesteps ahead of a consumer blocks. The
 // value keeps memory bounded while never deadlocking: blocked sends
-// are always drained by a consumer that already has its own inputs.
+// are always drained by a consumer that already has its own inputs
+// (see the deadlock-freedom argument in DESIGN.md).
 const edgeCap = 4
 
-// NewFabric scans every dependence set of every graph and creates one
-// channel per edge crossing a rank boundary under block distribution
-// over the given rank count.
+// NewFabric enumerates every cross-rank dependence edge of the app
+// (via CrossEdges) and creates one channel per edge.
 func NewFabric(app *core.App, ranks int) *Fabric {
-	f := &Fabric{ranks: ranks, chans: make([]map[int]map[int]chan []byte, len(app.Graphs))}
+	lists := make([][]Edge, len(app.Graphs))
 	for gi, g := range app.Graphs {
-		edges := map[int]map[int]chan []byte{}
-		for dset := 0; dset < g.MaxDependenceSets(); dset++ {
-			for i := 0; i < g.MaxWidth; i++ {
-				consRank := OwnerOf(i, g.MaxWidth, ranks)
-				g.Dependencies(dset, i).ForEach(func(j int) {
-					if j < 0 || j >= g.MaxWidth {
-						return
-					}
-					if OwnerOf(j, g.MaxWidth, ranks) == consRank {
-						return
-					}
-					byProd := edges[i]
-					if byProd == nil {
-						byProd = map[int]chan []byte{}
-						edges[i] = byProd
-					}
-					if _, ok := byProd[j]; !ok {
-						byProd[j] = make(chan []byte, edgeCap)
-					}
-				})
-			}
-		}
-		f.chans[gi] = edges
+		CrossEdges(g, ranks, func(producer, consumer int) {
+			lists[gi] = append(lists[gi], Edge{Producer: producer, Consumer: consumer})
+		})
 	}
-	return f
+	return NewFabricFromEdges(lists)
+}
+
+// NewFabricFromEdges builds the per-edge channels for precomputed
+// cross-rank edge lists (one list per graph), letting a reusable
+// RankPlan share one enumeration across fabric construction and wire
+// transports.
+func NewFabricFromEdges(lists [][]Edge) *Fabric {
+	return &Fabric{chans: EdgeQueues(lists, edgeCap)}
+}
+
+// EdgeQueues builds the per-edge queue maps (consumer → producer →
+// buffered channel of the given capacity) for precomputed cross-rank
+// edge lists — the common construction of the in-process Fabric and
+// the tcp wire transport's demux queues, which must agree exactly on
+// which edges have a queue.
+func EdgeQueues(lists [][]Edge, capacity int) []map[int]map[int]chan []byte {
+	queues := make([]map[int]map[int]chan []byte, len(lists))
+	for gi, edges := range lists {
+		byCons := map[int]map[int]chan []byte{}
+		for _, e := range edges {
+			byProd := byCons[e.Consumer]
+			if byProd == nil {
+				byProd = map[int]chan []byte{}
+				byCons[e.Consumer] = byProd
+			}
+			byProd[e.Producer] = make(chan []byte, capacity)
+		}
+		queues[gi] = byCons
+	}
+	return queues
 }
 
 // Remote reports whether the edge producer→consumer crosses a rank
@@ -80,30 +121,4 @@ func (f *Fabric) Send(graph, producer, consumer int, payload []byte) {
 // arrives and returns it. The caller owns the returned buffer.
 func (f *Fabric) Recv(graph, producer, consumer int) []byte {
 	return <-f.chans[graph][consumer][producer]
-}
-
-// SendRemoteOutputs sends task (t, i)'s output to every consumer in
-// the next timestep owned by a different rank.
-func (f *Fabric) SendRemoteOutputs(graph int, g *core.Graph, t, i int, output []byte) {
-	g.ReverseDependenciesForPoint(t, i).ForEach(func(cons int) {
-		if f.Remote(graph, i, cons) {
-			f.Send(graph, i, cons, output)
-		}
-	})
-}
-
-// GatherRankInputs collects the inputs of task (t, i) for a rank that
-// owns columns [span.Lo, span.Hi): local dependencies are read from
-// prev, remote ones received from the fabric. Appends to dst and
-// returns it.
-func (f *Fabric) GatherRankInputs(graph int, g *core.Graph, t, i int, span Span, prev func(int) []byte, dst [][]byte) [][]byte {
-	dst = dst[:0]
-	g.DependenciesForPoint(t, i).ForEach(func(dep int) {
-		if dep >= span.Lo && dep < span.Hi {
-			dst = append(dst, prev(dep))
-		} else {
-			dst = append(dst, f.Recv(graph, dep, i))
-		}
-	})
-	return dst
 }

@@ -51,29 +51,31 @@ func TestFabricSingleRankHasNoEdges(t *testing.T) {
 	}
 }
 
-func TestFabricGatherRankInputs(t *testing.T) {
+func TestCrossEdgesMatchesFabric(t *testing.T) {
 	app := fabricApp(8)
 	g := app.Graphs[0]
-	f := NewFabric(app, 2)
-	// Rank 0 computes task (1, 3): deps {2, 3, 4}; column 4 is remote.
-	remote := make([]byte, g.OutputBytes)
-	g.WriteOutput(0, 4, remote)
-	f.Send(0, 4, 3, remote)
-
-	local := map[int][]byte{}
-	for _, c := range []int{2, 3} {
-		buf := make([]byte, g.OutputBytes)
-		g.WriteOutput(0, c, buf)
-		local[c] = buf
-	}
-	inputs := f.GatherRankInputs(0, g, 1, 3, Span{Lo: 0, Hi: 4},
-		func(i int) []byte { return local[i] }, nil)
-	if len(inputs) != 3 {
-		t.Fatalf("got %d inputs, want 3", len(inputs))
-	}
-	// Validate through the core library: order and contents must match.
-	out := make([]byte, g.OutputBytes)
-	if err := g.ExecutePoint(1, 3, out, inputs, nil, true); err != nil {
-		t.Errorf("gathered inputs failed validation: %v", err)
+	for _, ranks := range []int{1, 2, 3} {
+		f := NewFabric(app, ranks)
+		edges := map[Edge]int{}
+		CrossEdges(g, ranks, func(producer, consumer int) {
+			edges[Edge{Producer: producer, Consumer: consumer}]++
+		})
+		for e, n := range edges {
+			if n != 1 {
+				t.Errorf("ranks=%d: edge %+v enumerated %d times", ranks, e, n)
+			}
+			if OwnerOf(e.Producer, g.MaxWidth, ranks) == OwnerOf(e.Consumer, g.MaxWidth, ranks) {
+				t.Errorf("ranks=%d: edge %+v does not cross a rank boundary", ranks, e)
+			}
+		}
+		// The fabric must have exactly the enumerated edges.
+		for i := 0; i < g.MaxWidth; i++ {
+			for j := 0; j < g.MaxWidth; j++ {
+				_, want := edges[Edge{Producer: j, Consumer: i}]
+				if got := f.Remote(0, j, i); got != want {
+					t.Errorf("ranks=%d: Remote(%d→%d) = %v, want %v", ranks, j, i, got, want)
+				}
+			}
+		}
 	}
 }

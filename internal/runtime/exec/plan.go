@@ -2,7 +2,6 @@ package exec
 
 import (
 	stdruntime "runtime"
-	"sync"
 	"sync/atomic"
 
 	"taskbench/internal/core"
@@ -106,31 +105,12 @@ func BuildPlan(app *core.App) *Plan {
 	}
 
 	seedParts := make([][]int32, len(jobs))
-	if workers == 1 || len(jobs) == 1 {
-		for k, j := range jobs {
-			seedParts[k] = p.fillColumns(j.gi, j.lo, j.hi)
-		}
-	} else {
-		// A bounded pool over the job list: multi-graph apps produce
-		// up to workers jobs per graph, and spawning them all at once
-		// would oversubscribe the scheduler.
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < min(workers, len(jobs)); w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					k := int(next.Add(1)) - 1
-					if k >= len(jobs) {
-						return
-					}
-					seedParts[k] = p.fillColumns(jobs[k].gi, jobs[k].lo, jobs[k].hi)
-				}
-			}()
-		}
-		wg.Wait()
+	fills := make([]func(), len(jobs))
+	for k, j := range jobs {
+		k, j := k, j
+		fills[k] = func() { seedParts[k] = p.fillColumns(j.gi, j.lo, j.hi) }
 	}
+	runJobs(workers, fills)
 	for _, part := range seedParts {
 		p.Seeds = append(p.Seeds, part...)
 	}

@@ -1,0 +1,147 @@
+package exec
+
+import (
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"taskbench/internal/core"
+	"taskbench/internal/kernels"
+)
+
+// RankPlan is the rank-space analog of Plan: the precomputed, reusable
+// layout a rank-based backend executes. It holds the per-rank column
+// spans under block distribution, the distinct cross-rank dependence
+// edges of every graph (the channels or wire queues a transport must
+// provide), each rank's double-buffered payload rows, and the
+// persistent per-column scratch working sets. Building it is the setup
+// cost an METG sweep used to pay at every measurement point; a
+// RankSession builds one RankPlan per configuration and Resets it per
+// point instead.
+type RankPlan struct {
+	App   *core.App
+	Ranks int
+	// MaxSteps is the tallest graph's timestep count — the length of
+	// every rank's outer loop.
+	MaxSteps int
+
+	spans   [][]Span             // [graph][rank]
+	edges   [][]Edge             // [graph]: distinct cross-rank dependence edges
+	rows    [][]*Rows            // [rank][graph]
+	scratch [][]*kernels.Scratch // [graph][column]
+}
+
+// BuildRankPlan expands the app's rank layout for the given rank
+// count. Like BuildPlan, construction fans out over a bounded pool:
+// spans, edge lists and scratch are one job per graph, and each rank's
+// payload rows (the large allocations) are one job per (rank, graph).
+func BuildRankPlan(app *core.App, ranks int) *RankPlan {
+	if ranks < 1 {
+		ranks = 1
+	}
+	p := &RankPlan{App: app, Ranks: ranks}
+	n := len(app.Graphs)
+	p.spans = make([][]Span, n)
+	p.edges = make([][]Edge, n)
+	p.scratch = make([][]*kernels.Scratch, n)
+	p.rows = make([][]*Rows, ranks)
+	for r := range p.rows {
+		p.rows[r] = make([]*Rows, n)
+	}
+	for _, g := range app.Graphs {
+		if g.Timesteps > p.MaxSteps {
+			p.MaxSteps = g.Timesteps
+		}
+	}
+
+	var jobs []func()
+	for gi := range app.Graphs {
+		gi := gi
+		jobs = append(jobs, func() { p.fillGraph(gi) })
+		for r := 0; r < ranks; r++ {
+			r := r
+			jobs = append(jobs, func() {
+				g := app.Graphs[gi]
+				p.rows[r][gi] = NewRows(g.MaxWidth, g.OutputBytes)
+			})
+		}
+	}
+	workers := stdruntime.GOMAXPROCS(0)
+	if app.TotalTasks() < buildParallelThreshold {
+		// Same cutoff as BuildPlan: tiny apps are not worth the
+		// fan-out.
+		workers = 1
+	}
+	runJobs(workers, jobs)
+	return p
+}
+
+// fillGraph computes the span table, cross-rank edge list and scratch
+// buffers of one graph.
+func (p *RankPlan) fillGraph(gi int) {
+	g := p.App.Graphs[gi]
+	p.spans[gi] = BlockAssign(g.MaxWidth, p.Ranks)
+	CrossEdges(g, p.Ranks, func(producer, consumer int) {
+		p.edges[gi] = append(p.edges[gi], Edge{Producer: producer, Consumer: consumer})
+	})
+	p.scratch[gi] = make([]*kernels.Scratch, g.MaxWidth)
+	for i := range p.scratch[gi] {
+		p.scratch[gi][i] = kernels.NewScratch(g.ScratchBytes)
+	}
+}
+
+// runJobs executes the jobs on a bounded pool of at most workers
+// goroutines (spawning the jobs all at once would oversubscribe the
+// scheduler), staying serial when workers or the job count is 1. It
+// is the shared fan-out of BuildPlan and BuildRankPlan.
+func runJobs(workers int, jobs []func()) {
+	workers = min(workers, len(jobs))
+	if workers <= 1 {
+		for _, job := range jobs {
+			job()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(jobs) {
+					return
+				}
+				jobs[k]()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Span returns the columns of graph gi owned by rank.
+func (p *RankPlan) Span(gi, rank int) Span { return p.spans[gi][rank] }
+
+// Edges returns graph gi's distinct cross-rank dependence edges.
+func (p *RankPlan) Edges(gi int) []Edge { return p.edges[gi] }
+
+// Rows returns rank's payload rows for graph gi.
+func (p *RankPlan) Rows(rank, gi int) *Rows { return p.rows[rank][gi] }
+
+// Scratch returns the persistent working set of graph gi's column i.
+func (p *RankPlan) Scratch(gi, i int) *kernels.Scratch { return p.scratch[gi][i] }
+
+// Reset makes the plan ready for another run by restoring every rank's
+// payload rows to their home orientation. Spans and edge lists are
+// immutable, transport queues drain themselves (every send of a run is
+// matched by a receive, even on the error path, because ranks keep the
+// protocol flowing after a failure), and scratch buffers persist by
+// design — they model per-column working sets.
+func (p *RankPlan) Reset() {
+	for _, rows := range p.rows {
+		for _, r := range rows {
+			r.Rehome()
+		}
+	}
+}

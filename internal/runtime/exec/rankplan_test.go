@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"testing"
+
+	"taskbench/internal/core"
+)
+
+// eagerPolicy is a minimal p2p-style rank policy used to exercise the
+// engine without importing a backend package (which would cycle).
+type eagerPolicy struct{}
+
+func (eagerPolicy) Layout(app *core.App) RankLayout { return FlatLayout(app) }
+
+func (eagerPolicy) Step(rc *RankCtx, t int) {
+	for gi := 0; gi < rc.Graphs(); gi++ {
+		if !rc.Active(gi, t) {
+			continue
+		}
+		lo, hi := rc.Window(gi, t)
+		for i := lo; i < hi; i++ {
+			rc.SendOutputs(gi, t, i, rc.Run(gi, t, i))
+		}
+		rc.Flip(gi)
+	}
+}
+
+func rankApp(width, steps int) *core.App {
+	return core.NewApp(core.MustNew(core.Params{
+		Timesteps: steps, MaxWidth: width, Dependence: core.Stencil1D, OutputBytes: 32,
+	}))
+}
+
+func TestRankPlanSpansCoverWidth(t *testing.T) {
+	app := core.NewApp(
+		core.MustNew(core.Params{Timesteps: 3, MaxWidth: 7, Dependence: core.Stencil1D}),
+		core.MustNew(core.Params{GraphID: 1, Timesteps: 5, MaxWidth: 4, Dependence: core.NoComm}),
+	)
+	plan := BuildRankPlan(app, 3)
+	if plan.MaxSteps != 5 {
+		t.Errorf("MaxSteps = %d, want 5", plan.MaxSteps)
+	}
+	for gi, g := range app.Graphs {
+		covered := 0
+		for r := 0; r < plan.Ranks; r++ {
+			covered += plan.Span(gi, r).Len()
+		}
+		if covered != g.MaxWidth {
+			t.Errorf("graph %d: spans cover %d columns, want %d", gi, covered, g.MaxWidth)
+		}
+	}
+}
+
+func TestRankPlanEdgesMatchCrossEdges(t *testing.T) {
+	app := rankApp(8, 4)
+	plan := BuildRankPlan(app, 2)
+	want := map[Edge]struct{}{}
+	CrossEdges(app.Graphs[0], 2, func(p, c int) { want[Edge{Producer: p, Consumer: c}] = struct{}{} })
+	got := plan.Edges(0)
+	if len(got) != len(want) {
+		t.Fatalf("plan has %d edges, want %d", len(got), len(want))
+	}
+	for _, e := range got {
+		if _, ok := want[e]; !ok {
+			t.Errorf("unexpected plan edge %+v", e)
+		}
+	}
+}
+
+func TestRankSessionReuseValidates(t *testing.T) {
+	app := rankApp(7, 9) // odd height: rows end a run flipped
+	app.Workers = 3
+	sess, err := NewRankSession(app, eagerPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var first core.RunStats
+	for k := 0; k < 3; k++ {
+		st, err := sess.Run()
+		if err != nil {
+			t.Fatalf("reuse run %d: %v", k, err)
+		}
+		if k == 0 {
+			first = st
+		} else if st.Tasks != first.Tasks || st.Workers != first.Workers {
+			t.Errorf("run %d static stats diverged: %+v vs %+v", k, st, first)
+		}
+	}
+}
+
+func TestRowsRehome(t *testing.T) {
+	r := NewRows(2, 4)
+	home := r.Cur(0)
+	r.Flip()
+	if &r.Cur(0)[0] == &home[0] {
+		t.Fatal("Flip did not swap buffers")
+	}
+	r.Rehome()
+	if &r.Cur(0)[0] != &home[0] {
+		t.Error("Rehome after one flip did not restore orientation")
+	}
+	r.Flip()
+	r.Flip()
+	r.Rehome()
+	if &r.Cur(0)[0] != &home[0] {
+		t.Error("Rehome after two flips changed orientation")
+	}
+}
+
+func TestRunRanksEmptyApp(t *testing.T) {
+	st, err := RunRanks(core.NewApp(), eagerPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 0 {
+		t.Errorf("Tasks = %d, want 0", st.Tasks)
+	}
+}

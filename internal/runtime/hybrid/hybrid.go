@@ -10,7 +10,6 @@ import (
 	"sync"
 
 	"taskbench/internal/core"
-	"taskbench/internal/kernels"
 	"taskbench/internal/runtime"
 	"taskbench/internal/runtime/exec"
 )
@@ -36,6 +35,22 @@ func (rt) Info() runtime.Info {
 }
 
 func (rt) Run(app *core.App) (core.RunStats, error) {
+	return exec.RunRanks(app, policy{})
+}
+
+// RankPolicy implements runtime.RankBacked.
+func (rt) RankPolicy() exec.RankPolicy { return policy{} }
+
+// policy is the ranks-of-engines discipline: each rank forks a
+// parallel loop over its owned columns every timestep (each chunk
+// worker receives its own remote inputs — edges are per-consumer, so
+// chunks never contend on a channel), joins, and then communicates in
+// a funneled phase.
+type policy struct{}
+
+// Layout decomposes the workers into app.Nodes ranks of equal thread
+// counts, defaulting to two nodes.
+func (policy) Layout(app *core.App) exec.RankLayout {
 	workers := exec.WorkersFor(app)
 	nodes := app.Nodes
 	if nodes <= 0 {
@@ -48,90 +63,40 @@ func (rt) Run(app *core.App) (core.RunStats, error) {
 	if threads < 1 {
 		threads = 1
 	}
-	fabric := exec.NewFabric(app, nodes)
-	var firstErr exec.ErrOnce
-	return exec.Measure(app, nodes*threads, func() error {
+	return exec.RankLayout{Ranks: nodes, Threads: threads}
+}
+
+func (policy) Step(rc *exec.RankCtx, t int) {
+	for gi := 0; gi < rc.Graphs(); gi++ {
+		if !rc.Active(gi, t) {
+			continue
+		}
+		lo, hi := rc.Window(gi, t)
+		if lo >= hi {
+			rc.Flip(gi)
+			continue
+		}
+		// Fork: parallel loop over this rank's columns.
+		chunks := exec.BlockAssign(hi-lo, rc.Threads())
 		var wg sync.WaitGroup
-		for r := 0; r < nodes; r++ {
+		for _, chunk := range chunks {
+			if chunk.Len() == 0 {
+				continue
+			}
 			wg.Add(1)
-			go func(rank int) {
+			go func(chunk exec.Span) {
 				defer wg.Done()
-				runRank(app, fabric, rank, nodes, threads, &firstErr)
-			}(r)
+				var inputs [][]byte
+				for i := lo + chunk.Lo; i < lo+chunk.Hi; i++ {
+					inputs, _ = rc.RunInto(inputs, gi, t, i)
+				}
+			}(chunk)
 		}
 		wg.Wait()
-		return firstErr.Err()
-	})
-}
-
-type rankState struct {
-	g       *core.Graph
-	span    exec.Span
-	rows    *exec.Rows
-	scratch []*kernels.Scratch
-}
-
-func runRank(app *core.App, fabric *exec.Fabric, rank, nodes, threads int, firstErr *exec.ErrOnce) {
-	states := make([]*rankState, len(app.Graphs))
-	maxSteps := 0
-	for gi, g := range app.Graphs {
-		span := exec.BlockAssign(g.MaxWidth, nodes)[rank]
-		st := &rankState{g: g, span: span, rows: exec.NewRows(g.MaxWidth, g.OutputBytes)}
-		st.scratch = make([]*kernels.Scratch, g.MaxWidth)
-		for i := span.Lo; i < span.Hi; i++ {
-			st.scratch[i] = kernels.NewScratch(g.ScratchBytes)
+		// Join: funneled communication phase.
+		for i := lo; i < hi; i++ {
+			rc.SendOutputs(gi, t, i, rc.Cur(gi, i))
 		}
-		states[gi] = st
-		if g.Timesteps > maxSteps {
-			maxSteps = g.Timesteps
-		}
-	}
-
-	for t := 0; t < maxSteps; t++ {
-		for gi, st := range states {
-			g := st.g
-			if t >= g.Timesteps {
-				continue
-			}
-			off := g.OffsetAtTimestep(t)
-			w := g.WidthAtTimestep(t)
-			lo := max(st.span.Lo, off)
-			hi := min(st.span.Hi, off+w)
-			if lo >= hi {
-				st.rows.Flip()
-				continue
-			}
-			// Fork: parallel loop over this rank's columns. Each
-			// chunk worker receives its own remote inputs (edges are
-			// per-consumer, so chunks never contend on a channel).
-			chunks := exec.BlockAssign(hi-lo, threads)
-			var wg sync.WaitGroup
-			for c := 0; c < threads; c++ {
-				chunk := chunks[c]
-				if chunk.Len() == 0 {
-					continue
-				}
-				wg.Add(1)
-				go func(chunk exec.Span) {
-					defer wg.Done()
-					var inputs [][]byte
-					for i := lo + chunk.Lo; i < lo+chunk.Hi; i++ {
-						inputs = fabric.GatherRankInputs(gi, g, t, i, st.span, st.rows.Prev, inputs)
-						out := st.rows.Cur(i)
-						err := g.ExecutePoint(t, i, out, inputs, st.scratch[i], app.Validate && !firstErr.Failed())
-						if err != nil {
-							firstErr.Set(err)
-							g.WriteOutput(t, i, out)
-						}
-					}
-				}(chunk)
-			}
-			wg.Wait()
-			// Join: funneled communication phase.
-			for i := lo; i < hi; i++ {
-				fabric.SendRemoteOutputs(gi, g, t, i, st.rows.Cur(i))
-			}
-			st.rows.Flip()
-		}
+		rc.Flip(gi)
 	}
 }

@@ -8,8 +8,8 @@ import (
 	"taskbench/internal/runtime/runtimetest"
 )
 
-func TestConformance(t *testing.T) {
-	runtimetest.Conformance(t, "hybrid")
+func TestRankPolicyConformance(t *testing.T) {
+	runtimetest.RankPolicyConformance(t, "hybrid")
 }
 
 func TestRepeat(t *testing.T) {
@@ -33,8 +33,4 @@ func TestExplicitNodeCount(t *testing.T) {
 	if stats.Workers != 8 {
 		t.Errorf("Workers = %d, want 8 (4 nodes × 2 threads)", stats.Workers)
 	}
-}
-
-func TestFaultInjection(t *testing.T) {
-	runtimetest.FaultInjection(t, "hybrid")
 }

@@ -8,7 +8,6 @@ package p2p
 
 import (
 	"taskbench/internal/core"
-	"taskbench/internal/kernels"
 	"taskbench/internal/runtime"
 	"taskbench/internal/runtime/exec"
 )
@@ -34,72 +33,32 @@ func (rt) Info() runtime.Info {
 }
 
 func (rt) Run(app *core.App) (core.RunStats, error) {
-	ranks := exec.WorkersFor(app)
-	fabric := exec.NewFabric(app, ranks)
-	var firstErr exec.ErrOnce
-	return exec.Measure(app, ranks, func() error {
-		done := make(chan struct{})
-		for r := 0; r < ranks; r++ {
-			go func(rank int) {
-				defer func() { done <- struct{}{} }()
-				runRank(app, fabric, rank, ranks, &firstErr)
-			}(r)
-		}
-		for r := 0; r < ranks; r++ {
-			<-done
-		}
-		return firstErr.Err()
-	})
+	return exec.RunRanks(app, Policy{})
 }
 
-// rankState holds one rank's slice of one graph.
-type rankState struct {
-	g       *core.Graph
-	span    exec.Span
-	rows    *exec.Rows
-	scratch []*kernels.Scratch
-}
+// RankPolicy implements runtime.RankBacked.
+func (rt) RankPolicy() exec.RankPolicy { return Policy{} }
 
-func runRank(app *core.App, fabric *exec.Fabric, rank, ranks int, firstErr *exec.ErrOnce) {
-	states := make([]*rankState, len(app.Graphs))
-	maxSteps := 0
-	for gi, g := range app.Graphs {
-		span := exec.BlockAssign(g.MaxWidth, ranks)[rank]
-		st := &rankState{g: g, span: span, rows: exec.NewRows(g.MaxWidth, g.OutputBytes)}
-		st.scratch = make([]*kernels.Scratch, g.MaxWidth)
-		for i := span.Lo; i < span.Hi; i++ {
-			st.scratch[i] = kernels.NewScratch(g.ScratchBytes)
-		}
-		states[gi] = st
-		if g.Timesteps > maxSteps {
-			maxSteps = g.Timesteps
-		}
-	}
+// Policy is the eager point-to-point discipline: each rank walks its
+// owned window in program order, receiving and computing each task and
+// sending its output to remote consumers the moment it is produced.
+// The tcp backend reuses this policy over its wire transport.
+type Policy struct{}
 
-	var inputs [][]byte
-	for t := 0; t < maxSteps; t++ {
-		for gi, st := range states {
-			g := st.g
-			if t >= g.Timesteps {
-				continue
-			}
-			off := g.OffsetAtTimestep(t)
-			w := g.WidthAtTimestep(t)
-			lo := max(st.span.Lo, off)
-			hi := min(st.span.Hi, off+w)
-			for i := lo; i < hi; i++ {
-				inputs = fabric.GatherRankInputs(gi, g, t, i, st.span, st.rows.Prev, inputs)
-				out := st.rows.Cur(i)
-				err := g.ExecutePoint(t, i, out, inputs, st.scratch[i], app.Validate && !firstErr.Failed())
-				if err != nil {
-					// Record the failure but keep the protocol flowing
-					// so peer ranks do not deadlock on missing sends.
-					firstErr.Set(err)
-					g.WriteOutput(t, i, out)
-				}
-				fabric.SendRemoteOutputs(gi, g, t, i, out)
-			}
-			st.rows.Flip()
+// Layout runs one single-threaded rank per worker.
+func (Policy) Layout(app *core.App) exec.RankLayout { return exec.FlatLayout(app) }
+
+// Step receives, computes and eagerly sends one timestep of every
+// graph.
+func (Policy) Step(rc *exec.RankCtx, t int) {
+	for gi := 0; gi < rc.Graphs(); gi++ {
+		if !rc.Active(gi, t) {
+			continue
 		}
+		lo, hi := rc.Window(gi, t)
+		for i := lo; i < hi; i++ {
+			rc.SendOutputs(gi, t, i, rc.Run(gi, t, i))
+		}
+		rc.Flip(gi)
 	}
 }

@@ -7,8 +7,8 @@ import (
 	"taskbench/internal/runtime/runtimetest"
 )
 
-func TestConformance(t *testing.T) {
-	runtimetest.Conformance(t, "p2p")
+func TestRankPolicyConformance(t *testing.T) {
+	runtimetest.RankPolicyConformance(t, "p2p")
 }
 
 func TestRepeat(t *testing.T) {
@@ -24,8 +24,4 @@ func TestInfo(t *testing.T) {
 	if !info.Distributed || info.Async {
 		t.Errorf("unexpected info %+v", info)
 	}
-}
-
-func TestFaultInjection(t *testing.T) {
-	runtimetest.FaultInjection(t, "p2p")
 }

@@ -8,8 +8,9 @@
 package ptg
 
 import (
+	"sync"
+
 	"taskbench/internal/core"
-	"taskbench/internal/kernels"
 	"taskbench/internal/runtime"
 	"taskbench/internal/runtime/exec"
 )
@@ -34,6 +35,13 @@ func (rt) Info() runtime.Info {
 	}
 }
 
+func (rt) Run(app *core.App) (core.RunStats, error) {
+	return exec.RunRanks(app, &policy{})
+}
+
+// RankPolicy implements runtime.RankBacked.
+func (rt) RankPolicy() exec.RankPolicy { return &policy{} }
+
 // compiledInput is one input of a compiled task.
 type compiledInput struct {
 	col    int
@@ -52,29 +60,44 @@ type compiledStep struct {
 	tasks []compiledTask
 }
 
-// compiledGraph is a rank's full schedule for one graph.
-type compiledGraph struct {
-	g       *core.Graph
-	span    exec.Span
-	steps   []compiledStep
-	rows    *exec.Rows
-	scratch []*kernels.Scratch
+// rankSchedule is a rank's full firing-rule expansion for one graph.
+type rankSchedule struct {
+	steps []compiledStep
 }
 
-// compile expands the dependence relations for one rank.
-func compile(app *core.App, rank, ranks int) []*compiledGraph {
-	out := make([]*compiledGraph, len(app.Graphs))
-	for gi, g := range app.Graphs {
-		span := exec.BlockAssign(g.MaxWidth, ranks)[rank]
-		cg := &compiledGraph{
-			g: g, span: span,
-			steps: make([]compiledStep, g.Timesteps),
-			rows:  exec.NewRows(g.MaxWidth, g.OutputBytes),
-		}
-		cg.scratch = make([]*kernels.Scratch, g.MaxWidth)
-		for i := span.Lo; i < span.Hi; i++ {
-			cg.scratch[i] = kernels.NewScratch(g.ScratchBytes)
-		}
+// policy executes precompiled per-rank schedules. The expansion
+// happens once in CompileRanks (at engine construction, outside any
+// timed region), so a reused RankPlan replays the same schedule at
+// every measurement point of a sweep.
+type policy struct {
+	compiled [][]rankSchedule // [rank][graph]
+	inputs   [][][]byte       // [rank]: reusable gather buffer
+}
+
+func (*policy) Layout(app *core.App) exec.RankLayout { return exec.FlatLayout(app) }
+
+// CompileRanks expands the dependence relations into per-rank firing
+// rules, in parallel across ranks.
+func (p *policy) CompileRanks(plan *exec.RankPlan) {
+	p.compiled = make([][]rankSchedule, plan.Ranks)
+	p.inputs = make([][][]byte, plan.Ranks)
+	var wg sync.WaitGroup
+	for rank := 0; rank < plan.Ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			p.compiled[rank] = compileRank(plan, rank)
+		}(rank)
+	}
+	wg.Wait()
+}
+
+// compileRank expands the dependence relations for one rank.
+func compileRank(plan *exec.RankPlan, rank int) []rankSchedule {
+	out := make([]rankSchedule, len(plan.App.Graphs))
+	for gi, g := range plan.App.Graphs {
+		span := plan.Span(gi, rank)
+		sched := rankSchedule{steps: make([]compiledStep, g.Timesteps)}
 		for t := 0; t < g.Timesteps; t++ {
 			off := g.OffsetAtTimestep(t)
 			w := g.WidthAtTimestep(t)
@@ -93,72 +116,37 @@ func compile(app *core.App, rank, ranks int) []*compiledGraph {
 						task.sendsTo = append(task.sendsTo, cons)
 					}
 				})
-				cg.steps[t].tasks = append(cg.steps[t].tasks, task)
+				sched.steps[t].tasks = append(sched.steps[t].tasks, task)
 			}
 		}
-		out[gi] = cg
+		out[gi] = sched
 	}
 	return out
 }
 
-func (rt) Run(app *core.App) (core.RunStats, error) {
-	ranks := exec.WorkersFor(app)
-	fabric := exec.NewFabric(app, ranks)
-	// Compile-time expansion, outside the timed region.
-	compiled := make([][]*compiledGraph, ranks)
-	maxSteps := 0
-	for rank := 0; rank < ranks; rank++ {
-		compiled[rank] = compile(app, rank, ranks)
-	}
-	for _, g := range app.Graphs {
-		if g.Timesteps > maxSteps {
-			maxSteps = g.Timesteps
+// Step walks the rank's precompiled task and communication lists; no
+// graph queries happen inside the timed region.
+func (p *policy) Step(rc *exec.RankCtx, t int) {
+	inputs := p.inputs[rc.Rank]
+	for gi := range p.compiled[rc.Rank] {
+		if !rc.Active(gi, t) {
+			continue
 		}
-	}
-	var firstErr exec.ErrOnce
-	return exec.Measure(app, ranks, func() error {
-		done := make(chan struct{})
-		for rank := 0; rank < ranks; rank++ {
-			go func(rank int) {
-				defer func() { done <- struct{}{} }()
-				runRank(app, fabric, compiled[rank], maxSteps, &firstErr)
-			}(rank)
-		}
-		for rank := 0; rank < ranks; rank++ {
-			<-done
-		}
-		return firstErr.Err()
-	})
-}
-
-func runRank(app *core.App, fabric *exec.Fabric, graphs []*compiledGraph, maxSteps int, firstErr *exec.ErrOnce) {
-	var inputs [][]byte
-	for t := 0; t < maxSteps; t++ {
-		for gi, cg := range graphs {
-			g := cg.g
-			if t >= g.Timesteps {
-				continue
-			}
-			for _, task := range cg.steps[t].tasks {
-				inputs = inputs[:0]
-				for _, in := range task.inputs {
-					if in.remote {
-						inputs = append(inputs, fabric.Recv(gi, in.col, task.col))
-					} else {
-						inputs = append(inputs, cg.rows.Prev(in.col))
-					}
-				}
-				out := cg.rows.Cur(task.col)
-				err := g.ExecutePoint(t, task.col, out, inputs, cg.scratch[task.col], app.Validate && !firstErr.Failed())
-				if err != nil {
-					firstErr.Set(err)
-					g.WriteOutput(t, task.col, out)
-				}
-				for _, cons := range task.sendsTo {
-					fabric.Send(gi, task.col, cons, out)
+		for _, task := range p.compiled[rc.Rank][gi].steps[t].tasks {
+			inputs = inputs[:0]
+			for _, in := range task.inputs {
+				if in.remote {
+					inputs = append(inputs, rc.Recv(gi, in.col, task.col))
+				} else {
+					inputs = append(inputs, rc.Prev(gi, in.col))
 				}
 			}
-			cg.rows.Flip()
+			out := rc.ExecWith(gi, t, task.col, inputs)
+			for _, cons := range task.sendsTo {
+				rc.Send(gi, task.col, cons, out)
+			}
 		}
+		rc.Flip(gi)
 	}
+	p.inputs[rc.Rank] = inputs
 }

@@ -6,14 +6,10 @@ import (
 	"taskbench/internal/runtime/runtimetest"
 )
 
-func TestConformance(t *testing.T) {
-	runtimetest.Conformance(t, "ptg")
+func TestRankPolicyConformance(t *testing.T) {
+	runtimetest.RankPolicyConformance(t, "ptg")
 }
 
 func TestRepeat(t *testing.T) {
 	runtimetest.Repeat(t, "ptg", 5)
-}
-
-func TestFaultInjection(t *testing.T) {
-	runtimetest.FaultInjection(t, "ptg")
 }

@@ -44,6 +44,17 @@ type PolicyBacked interface {
 	Policy() exec.Policy
 }
 
+// RankBacked is implemented by the rank-based message-passing backends
+// that run through the shared exec.RankEngine (p2p, bsp, dtd, shard,
+// ptg, hybrid, tcp). RankPolicy returns a fresh instance of the
+// backend's rank policy, letting callers drive a reusable
+// exec.RankSession directly — a distributed METG sweep builds one
+// RankPlan (spans, cross-rank edges, fabric wiring) per configuration
+// and reruns it at every measurement point.
+type RankBacked interface {
+	RankPolicy() exec.RankPolicy
+}
+
 // Info is the backend metadata rendered into the paper's Table 3/4
 // analog by cmd/figures.
 type Info struct {

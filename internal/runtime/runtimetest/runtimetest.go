@@ -317,6 +317,144 @@ func PlanReuseScratch(t *testing.T, name string) {
 	}
 }
 
+// RankPolicyConformance is the conformance suite for the rank-based
+// message-passing backends built on the shared exec.RankEngine: the
+// full battery, the fault-injection error path (whole-graph and
+// deterministic mid-graph faults), RankPlan reuse across runs, rank
+// counts 1–3 including widths not divisible by the rank count, and
+// empty-app termination. Each rank backend's test file invokes it.
+func RankPolicyConformance(t *testing.T, name string) {
+	t.Helper()
+	Conformance(t, name)
+	t.Run("fault_injection", func(t *testing.T) { FaultInjection(t, name) })
+	t.Run("fault_mid_graph", func(t *testing.T) { RankFaultMidGraph(t, name) })
+	t.Run("rank_plan_reuse", func(t *testing.T) { RankPlanReuse(t, name) })
+	t.Run("rank_counts", func(t *testing.T) { RankCounts(t, name) })
+	t.Run("empty_app", func(t *testing.T) { EmptyApp(t, name) })
+}
+
+// rankPolicyFor fetches the backend's rank policy, failing the test if
+// the backend does not run through the shared rank engine.
+func rankPolicyFor(t *testing.T, name string) exec.RankPolicy {
+	t.Helper()
+	rt, err := runtime.New(name)
+	if err != nil {
+		t.Fatalf("runtime.New(%q): %v", name, err)
+	}
+	rb, ok := rt.(runtime.RankBacked)
+	if !ok {
+		t.Fatalf("%s does not implement runtime.RankBacked", name)
+	}
+	return rb.RankPolicy()
+}
+
+// RankPlanReuse runs one RankSession (one RankPlan and one transport,
+// Reset between runs) several times and asserts every run validates
+// cleanly and reports identical static statistics — the property
+// distributed METG sweeps rely on to drop the per-point rebuild of
+// spans, edge lists and fabric wiring. The widths are chosen so block
+// distribution over three ranks is uneven.
+func RankPlanReuse(t *testing.T, name string) {
+	t.Helper()
+	app := core.NewApp(
+		graph(0, core.Stencil1DPeriodic, 6, 10, 0, 32),
+		graph(1, core.Stencil1D, 7, 6, 0, 16),
+	)
+	app.Workers = 3
+	app.Nodes = 3
+	sess, err := exec.NewRankSession(app, rankPolicyFor(t, name))
+	if err != nil {
+		t.Fatalf("%s: NewRankSession: %v", name, err)
+	}
+	defer sess.Close()
+	var first core.RunStats
+	for k := 0; k < 4; k++ {
+		st, err := sess.Run()
+		if err != nil {
+			t.Fatalf("%s failed on reuse run %d: %v", name, k, err)
+		}
+		if st.Elapsed <= 0 {
+			t.Errorf("run %d: Elapsed = %v, want > 0", k, st.Elapsed)
+		}
+		if k == 0 {
+			first = st
+			continue
+		}
+		if st.Tasks != first.Tasks || st.Dependencies != first.Dependencies ||
+			st.Flops != first.Flops || st.Bytes != first.Bytes ||
+			st.Workers != first.Workers {
+			t.Errorf("run %d stats diverged: got %+v, want static fields of %+v", k, st, first)
+		}
+	}
+}
+
+// RankCounts runs the backend at rank counts 1, 2 and 3 over widths
+// that divide unevenly (or not at all) across the ranks, including a
+// width smaller than the rank count.
+func RankCounts(t *testing.T, name string) {
+	t.Helper()
+	rt, err := runtime.New(name)
+	if err != nil {
+		t.Fatalf("runtime.New(%q): %v", name, err)
+	}
+	for ranks := 1; ranks <= 3; ranks++ {
+		for _, width := range []int{1, 2, 7} {
+			app := core.NewApp(graph(0, core.Stencil1D, width, 6, 0, 16))
+			app.Workers = ranks
+			app.Nodes = ranks
+			stats, err := rt.Run(app)
+			if err != nil {
+				t.Fatalf("%s failed at ranks=%d width=%d: %v", name, ranks, width, err)
+			}
+			if stats.Tasks != app.TotalTasks() {
+				t.Errorf("ranks=%d width=%d: stats.Tasks = %d, want %d",
+					ranks, width, stats.Tasks, app.TotalTasks())
+			}
+		}
+	}
+}
+
+// RankFaultMidGraph injects a deterministic partial fault pattern (the
+// corruption decision hashes seed, timestep and point, so the same
+// tasks fail on every run) and requires the backend to surface the
+// validation error without deadlocking: healthy columns must keep
+// communicating so every rank can drain its schedule.
+func RankFaultMidGraph(t *testing.T, name string) {
+	t.Helper()
+	rt, err := runtime.New(name)
+	if err != nil {
+		t.Fatalf("runtime.New(%q): %v", name, err)
+	}
+	app := core.NewApp(core.MustNew(core.Params{
+		Timesteps:   12,
+		MaxWidth:    6,
+		Dependence:  core.Stencil1DPeriodic,
+		OutputBytes: 64,
+		FaultRate:   0.2,
+		Seed:        11,
+	}))
+	app.Workers = 3
+	app.Nodes = 3
+	type result struct{ err error }
+	done := make(chan result, 1)
+	go func() {
+		_, err := rt.Run(app)
+		done <- result{err}
+	}()
+	select {
+	case r := <-done:
+		if r.err == nil {
+			t.Fatalf("%s did not report the injected mid-graph corruption", name)
+		}
+		var verr *core.ValidationError
+		if !errors.As(r.err, &verr) {
+			t.Fatalf("%s returned %T (%v), want *core.ValidationError", name, r.err, r.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s deadlocked on a mid-graph fault", name)
+	}
+}
+
 // Repeat runs a nontrivial multi-graph app several times on the named
 // backend, shaking out races that a single run might miss (use with
 // -race in CI).

@@ -8,8 +8,13 @@
 //
 // Topology: a full mesh. Every ordered rank pair (s → r) gets one
 // connection, written only by s and read by a demultiplexer goroutine
-// at r that routes frames to per-edge queues. Execution then follows
-// the MPI point-to-point structure of the p2p backend.
+// at r that routes frames to per-edge queues. Scheduling is exactly
+// the p2p backend's eager rank policy — this package contributes only
+// the exec.Transport adapter that swaps the in-process fabric for the
+// wire, plugged into the shared exec.RankEngine via OpenTransport.
+// The per-edge queues are built from the RankPlan's cross-rank edge
+// list, the same enumeration the fabric uses, so both transports agree
+// exactly on which edges exist.
 package tcp
 
 import (
@@ -19,9 +24,9 @@ import (
 	"net"
 
 	"taskbench/internal/core"
-	"taskbench/internal/kernels"
 	"taskbench/internal/runtime"
 	"taskbench/internal/runtime/exec"
+	"taskbench/internal/runtime/p2p"
 )
 
 func init() {
@@ -44,55 +49,68 @@ func (rt) Info() runtime.Info {
 	}
 }
 
+func (rt) Run(app *core.App) (core.RunStats, error) {
+	return exec.RunRanks(app, &policy{})
+}
+
+// RankPolicy implements runtime.RankBacked.
+func (rt) RankPolicy() exec.RankPolicy { return &policy{} }
+
+// policy is the p2p eager rank discipline over a wire transport: the
+// scheduling paradigm is inherited wholesale from p2p; only the
+// messaging substrate differs.
+type policy struct {
+	p2p.Policy
+}
+
+// OpenTransport implements exec.RankTransporter: it dials the full
+// loopback mesh and builds the per-edge frame queues from the plan's
+// cross-rank edge lists. The engine owns (and Closes) the transport,
+// so a reused RankSession pays connection establishment once per
+// configuration instead of per run.
+func (*policy) OpenTransport(plan *exec.RankPlan) (exec.Transport, error) {
+	return newTransport(plan)
+}
+
 // frameHeader is the fixed wire header preceding every payload:
 // payload length, graph index, producer column, consumer column.
 const frameHeaderSize = 16
-
-// transport is the TCP mesh of one run.
-type transport struct {
-	ranks int
-	// out[from][to] is the connection written by rank `from`.
-	out [][]net.Conn
-	// edges[graph][consumer][producer] receives demultiplexed
-	// payloads at the consumer's rank.
-	edges []map[int]map[int]chan []byte
-	// readers signal fatal transport errors.
-	errs *exec.ErrOnce
-}
 
 // edgeCap bounds per-edge buffering; the step-lockstep structure keeps
 // at most a couple of outstanding frames per edge.
 const edgeCap = 8
 
+// transport is the TCP mesh of one engine, implementing
+// exec.Transport.
+type transport struct {
+	ranks int
+	// widths[g] is graph g's max width, for routing frames to the
+	// consumer's rank.
+	widths []int
+	// out[from][to] is the connection written by rank `from`.
+	out [][]net.Conn
+	// edges[graph][consumer][producer] receives demultiplexed
+	// payloads at the consumer's rank.
+	edges []map[int]map[int]chan []byte
+	// errs records fatal transport errors from the demultiplexers.
+	errs exec.ErrOnce
+}
+
 // newTransport builds the connection mesh and edge queues and starts
 // one demultiplexer per incoming connection.
-func newTransport(app *core.App, ranks int, errs *exec.ErrOnce) (*transport, error) {
-	tr := &transport{ranks: ranks, errs: errs}
+func newTransport(plan *exec.RankPlan) (*transport, error) {
+	ranks := plan.Ranks
+	app := plan.App
+	tr := &transport{ranks: ranks, widths: make([]int, len(app.Graphs))}
 
-	// Edge queues, mirroring exec.NewFabric.
-	tr.edges = make([]map[int]map[int]chan []byte, len(app.Graphs))
+	// Edge queues, from the plan's shared cross-rank edge enumeration
+	// and the fabric's shared queue construction.
+	lists := make([][]exec.Edge, len(app.Graphs))
 	for gi, g := range app.Graphs {
-		edges := map[int]map[int]chan []byte{}
-		for dset := 0; dset < g.MaxDependenceSets(); dset++ {
-			for i := 0; i < g.MaxWidth; i++ {
-				consRank := exec.OwnerOf(i, g.MaxWidth, ranks)
-				g.Dependencies(dset, i).ForEach(func(j int) {
-					if j < 0 || j >= g.MaxWidth || exec.OwnerOf(j, g.MaxWidth, ranks) == consRank {
-						return
-					}
-					byProd := edges[i]
-					if byProd == nil {
-						byProd = map[int]chan []byte{}
-						edges[i] = byProd
-					}
-					if _, ok := byProd[j]; !ok {
-						byProd[j] = make(chan []byte, edgeCap)
-					}
-				})
-			}
-		}
-		tr.edges[gi] = edges
+		tr.widths[gi] = g.MaxWidth
+		lists[gi] = plan.Edges(gi)
 	}
+	tr.edges = exec.EdgeQueues(lists, edgeCap)
 
 	// One listener per rank, then a full dial mesh. The dialer
 	// identifies itself with a one-int32 handshake.
@@ -192,16 +210,16 @@ func (tr *transport) edge(graph, producer, consumer int) chan []byte {
 	return byProd[producer]
 }
 
-// remote reports whether the edge crosses a rank boundary.
-func (tr *transport) remote(graph, producer, consumer int) bool {
+// Remote reports whether the edge crosses a rank boundary.
+func (tr *transport) Remote(graph, producer, consumer int) bool {
 	return tr.edge(graph, producer, consumer) != nil
 }
 
-// send frames the payload onto the producer rank's connection to the
+// Send frames the payload onto the producer rank's connection to the
 // consumer's rank. Only the owning rank goroutine writes a given
 // connection, so no locking is needed.
-func (tr *transport) send(fromRank int, graph, producer, consumer int, payload []byte, width int) error {
-	toRank := exec.OwnerOf(consumer, width, tr.ranks)
+func (tr *transport) Send(fromRank, graph, producer, consumer int, payload []byte) error {
+	toRank := exec.OwnerOf(consumer, tr.widths[graph], tr.ranks)
 	conn := tr.out[fromRank][toRank]
 	var header [frameHeaderSize]byte
 	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
@@ -217,103 +235,21 @@ func (tr *transport) send(fromRank int, graph, producer, consumer int, payload [
 	return nil
 }
 
-// recv blocks until the next frame on the edge arrives.
-func (tr *transport) recv(graph, producer, consumer int) []byte {
+// Recv blocks until the next frame on the edge arrives.
+func (tr *transport) Recv(graph, producer, consumer int) []byte {
 	return <-tr.edge(graph, producer, consumer)
 }
 
-// close shuts down the mesh; demultiplexers exit on EOF.
-func (tr *transport) close() {
+// Err reports any asynchronous demultiplexer failure.
+func (tr *transport) Err() error { return tr.errs.Err() }
+
+// Close shuts down the mesh; demultiplexers exit on EOF.
+func (tr *transport) Close() {
 	for _, conns := range tr.out {
 		for _, c := range conns {
 			if c != nil {
 				c.Close()
 			}
-		}
-	}
-}
-
-func (rt) Run(app *core.App) (core.RunStats, error) {
-	ranks := exec.WorkersFor(app)
-	var firstErr exec.ErrOnce
-	tr, err := newTransport(app, ranks, &firstErr)
-	if err != nil {
-		return core.RunStats{}, err
-	}
-	defer tr.close()
-	return exec.Measure(app, ranks, func() error {
-		done := make(chan struct{})
-		for r := 0; r < ranks; r++ {
-			go func(rank int) {
-				defer func() { done <- struct{}{} }()
-				runRank(app, tr, rank, ranks, &firstErr)
-			}(r)
-		}
-		for r := 0; r < ranks; r++ {
-			<-done
-		}
-		return firstErr.Err()
-	})
-}
-
-type rankState struct {
-	g       *core.Graph
-	span    exec.Span
-	rows    *exec.Rows
-	scratch []*kernels.Scratch
-}
-
-func runRank(app *core.App, tr *transport, rank, ranks int, firstErr *exec.ErrOnce) {
-	states := make([]*rankState, len(app.Graphs))
-	maxSteps := 0
-	for gi, g := range app.Graphs {
-		span := exec.BlockAssign(g.MaxWidth, ranks)[rank]
-		st := &rankState{g: g, span: span, rows: exec.NewRows(g.MaxWidth, g.OutputBytes)}
-		st.scratch = make([]*kernels.Scratch, g.MaxWidth)
-		for i := span.Lo; i < span.Hi; i++ {
-			st.scratch[i] = kernels.NewScratch(g.ScratchBytes)
-		}
-		states[gi] = st
-		if g.Timesteps > maxSteps {
-			maxSteps = g.Timesteps
-		}
-	}
-
-	var inputs [][]byte
-	for t := 0; t < maxSteps; t++ {
-		for gi, st := range states {
-			g := st.g
-			if t >= g.Timesteps {
-				continue
-			}
-			off := g.OffsetAtTimestep(t)
-			w := g.WidthAtTimestep(t)
-			lo := max(st.span.Lo, off)
-			hi := min(st.span.Hi, off+w)
-			for i := lo; i < hi; i++ {
-				inputs = inputs[:0]
-				g.DependenciesForPoint(t, i).ForEach(func(dep int) {
-					if dep >= st.span.Lo && dep < st.span.Hi {
-						inputs = append(inputs, st.rows.Prev(dep))
-					} else {
-						inputs = append(inputs, tr.recv(gi, dep, i))
-					}
-				})
-				out := st.rows.Cur(i)
-				err := g.ExecutePoint(t, i, out, inputs, st.scratch[i], app.Validate && !firstErr.Failed())
-				if err != nil {
-					firstErr.Set(err)
-					g.WriteOutput(t, i, out)
-				}
-				g.ReverseDependenciesForPoint(t, i).ForEach(func(cons int) {
-					if tr.remote(gi, i, cons) {
-						if err := tr.send(rank, gi, i, cons, out, g.MaxWidth); err != nil {
-							firstErr.Set(err)
-						}
-					}
-				})
-			}
-			st.rows.Flip()
 		}
 	}
 }

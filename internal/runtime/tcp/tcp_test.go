@@ -8,16 +8,12 @@ import (
 	"taskbench/internal/runtime/runtimetest"
 )
 
-func TestConformance(t *testing.T) {
-	runtimetest.Conformance(t, "tcp")
+func TestRankPolicyConformance(t *testing.T) {
+	runtimetest.RankPolicyConformance(t, "tcp")
 }
 
 func TestRepeat(t *testing.T) {
 	runtimetest.Repeat(t, "tcp", 3)
-}
-
-func TestFaultInjection(t *testing.T) {
-	runtimetest.FaultInjection(t, "tcp")
 }
 
 func TestLargePayloadOverWire(t *testing.T) {

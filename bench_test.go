@@ -257,11 +257,91 @@ func BenchmarkFig13GPU(b *testing.B) {
 	}
 }
 
+// BenchmarkDepQuery compares the per-call dependence query path
+// (DependenciesForPoint: fresh IntervalLists on every query) against
+// the compiled DepTable's clipped iterator, which must be several
+// times faster with 0 allocs/op — it runs once per executed task on
+// every hot path. The mixed case cycles through all four patterns, the
+// per-task query profile of a multi-graph run; per-pattern cases break
+// the win down (widest for relations whose per-call construction does
+// real work: hashing, sorting, interval compression).
+func BenchmarkDepQuery(b *testing.B) {
+	const steps, width = 16, 64
+	cases := []struct {
+		name string
+		p    core.Params
+	}{
+		{"stencil_1d", core.Params{Timesteps: steps, MaxWidth: width, Dependence: core.Stencil1D}},
+		{"fft", core.Params{Timesteps: steps, MaxWidth: width, Dependence: core.FFT}},
+		{"spread", core.Params{Timesteps: steps, MaxWidth: width, Dependence: core.Spread, Radix: 5}},
+		{"random_nearest", core.Params{Timesteps: steps, MaxWidth: width, Dependence: core.RandomNearest, Radix: 5}},
+	}
+	var graphs [4]*core.Graph
+	for k, c := range cases {
+		graphs[k] = core.MustNew(c.p)
+		graphs[k].PrecomputeDeps()
+	}
+	// Walk (t, col) incrementally: a div/mod per op would swamp the
+	// few-ns compiled query being measured.
+	advance := func(t, col int) (int, int) {
+		if col++; col == width {
+			col = 0
+			if t++; t == steps {
+				t = 1
+			}
+		}
+		return t, col
+	}
+	naive := func(gs []*core.Graph) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			sum, t, col := 0, 1, 0
+			for i := 0; i < b.N; i++ {
+				g := gs[i&(len(gs)-1)]
+				g.DependenciesForPoint(t, col).ForEach(func(d int) { sum += d })
+				t, col = advance(t, col)
+			}
+			if sum < 0 {
+				b.Fatal("impossible")
+			}
+		}
+	}
+	compiled := func(gs []*core.Graph) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			sum, t, col := 0, 1, 0
+			for i := 0; i < b.N; i++ {
+				g := gs[i&(len(gs)-1)]
+				it := g.PointDeps(t, col)
+				for d, ok := it.Next(); ok; d, ok = it.Next() {
+					sum += d
+				}
+				t, col = advance(t, col)
+			}
+			if sum < 0 {
+				b.Fatal("impossible")
+			}
+		}
+	}
+	b.Run("mixed/naive", naive(graphs[:]))
+	b.Run("mixed/compiled", compiled(graphs[:]))
+	for k, c := range cases {
+		b.Run(c.name+"/naive", naive(graphs[k:k+1]))
+		b.Run(c.name+"/compiled", compiled(graphs[k:k+1]))
+	}
+}
+
 // BenchmarkAblationValidation measures the paper's §2 claim that
 // payload validation costs under a few percent at small granularity.
+// allocs/op is reported so validation's allocation cost (none — the
+// compiled-table path) is visible against the run's setup baseline in
+// the bench-smoke trajectory; the zero-allocs-per-task invariant
+// itself is enforced by the TestZeroAllocsPerTask tests, which
+// difference out setup.
 func BenchmarkAblationValidation(b *testing.B) {
 	run := func(b *testing.B, validate bool) {
 		rt, _ := runtime.New("serial")
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			app := core.NewApp(core.MustNew(core.Params{
 				Timesteps: 50, MaxWidth: 8, Dependence: core.Stencil1D,

@@ -1,0 +1,159 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON report mapping benchmark name → ns/op, B/op,
+// allocs/op and any custom b.ReportMetric units. CI runs it after the
+// bench-smoke job and uploads the result as BENCH_<sha>.json, seeding
+// a perf trajectory that can be diffed across commits:
+//
+//	go test -bench . -benchmem -benchtime 1x -run '^$' ./... | tee bench.txt
+//	benchjson -in bench.txt -out BENCH_$(git rev-parse --short HEAD).json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result holds the parsed metrics of one benchmark line.
+type Result struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BPerOp and AllocsPerOp are present only when the run used
+	// -benchmem (or the benchmark called b.ReportAllocs).
+	BPerOp      *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries custom b.ReportMetric units (tasks/s, METG-µs, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion  string            `json:"go_version"`
+	GoOS       string            `json:"goos"`
+	GoArch     string            `json:"goarch"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	in := ""
+	out := ""
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-in":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-in requires a file path")
+			}
+			in = args[i+1]
+			i++
+		case "-out":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-out requires a file path")
+			}
+			out = args[i+1]
+			i++
+		default:
+			return fmt.Errorf("unknown flag %q (usage: benchjson [-in bench.txt] [-out BENCH.json])", args[i])
+		}
+	}
+
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := parse(r)
+	if err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// parse reads `go test -bench` output: each benchmark line is the name
+// (with a -GOMAXPROCS suffix), the iteration count, then value/unit
+// pairs ("123 ns/op", "45 B/op", "6 allocs/op", "7.8 tasks/s").
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{
+		GoVersion:  runtime.Version(),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		Benchmarks: map[string]Result{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "--- FAIL: BenchmarkX" line
+		}
+		res := Result{Iterations: iters}
+		for k := 2; k+1 < len(fields); k += 2 {
+			v, err := strconv.ParseFloat(fields[k], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[k+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				b := v
+				res.BPerOp = &b
+			case "allocs/op":
+				a := v
+				res.AllocsPerOp = &a
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		report.Benchmarks[trimProcs(fields[0])] = res
+	}
+	return report, sc.Err()
+}
+
+// trimProcs drops the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names, so names stay stable across machine shapes.
+func trimProcs(name string) string {
+	k := strings.LastIndexByte(name, '-')
+	if k < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[k+1:]); err != nil {
+		return name
+	}
+	return name[:k]
+}

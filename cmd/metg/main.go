@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	stdruntime "runtime"
+	"runtime/pprof"
 	"time"
 
 	"taskbench/internal/core"
@@ -23,40 +25,76 @@ import (
 	"taskbench/internal/sim"
 )
 
+// main delegates to run so that deferred profile writers flush before
+// the process exits with a status code.
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
 	var (
-		backend   = flag.String("backend", "", "real runtime backend to measure")
-		profile   = flag.String("profile", "", "simulator profile to measure (e.g. \"mpi p2p\")")
-		nodes     = flag.Int("nodes", 1, "simulated node count (with -profile)")
-		steps     = flag.Int("steps", 20, "graph height")
-		width     = flag.Int("width", 0, "graph width (0 = one column per worker / core)")
-		pattern   = flag.String("type", "stencil_1d", "dependence pattern")
-		radix     = flag.Int("radix", 0, "dependencies per task (nearest/spread)")
-		threshold = flag.Float64("threshold", 0.5, "efficiency threshold")
-		maxIters  = flag.Int64("maxiters", 0, "top of the problem-size sweep (0 = auto)")
-		density   = flag.Int("density", 2, "sweep points per doubling")
+		backend    = flag.String("backend", "", "real runtime backend to measure")
+		profile    = flag.String("profile", "", "simulator profile to measure (e.g. \"mpi p2p\")")
+		nodes      = flag.Int("nodes", 1, "simulated node count (with -profile)")
+		steps      = flag.Int("steps", 20, "graph height")
+		width      = flag.Int("width", 0, "graph width (0 = one column per worker / core)")
+		pattern    = flag.String("type", "stencil_1d", "dependence pattern")
+		radix      = flag.Int("radix", 0, "dependencies per task (nearest/spread)")
+		threshold  = flag.Float64("threshold", 0.5, "efficiency threshold")
+		maxIters   = flag.Int64("maxiters", 0, "top of the problem-size sweep (0 = auto)")
+		density    = flag.Int("density", 2, "sweep points per doubling")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile after the sweep")
 	)
 	flag.Parse()
 
 	if (*backend == "") == (*profile == "") {
 		fmt.Fprintln(os.Stderr, "metg: specify exactly one of -backend or -profile")
 		fmt.Fprintln(os.Stderr, "backends:", runtime.Names())
-		os.Exit(2)
+		return 2
 	}
 
 	dep, err := core.ParseDependenceType(*pattern)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
-	var run metg.Runner
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// The named return lets the deferred writer escalate a profile
+		// failure into a nonzero exit even after a successful sweep.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				code = fatal(err)
+				return
+			}
+			defer f.Close()
+			stdruntime.GC() // settle live-object counts before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				code = fatal(err)
+			}
+		}()
+	}
+
+	var runner metg.Runner
 	var peak float64
 	top := *maxIters
 
 	if *backend != "" {
 		rt, err := runtime.New(*backend)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		w := *width
 		if w == 0 {
@@ -73,22 +111,22 @@ func main() {
 			})
 		})
 		defer done()
-		run = func(iterations int64) core.RunStats {
+		runner = func(iterations int64) core.RunStats {
 			st, err := sweep(iterations)
 			if err != nil {
-				fatal(err)
+				die(err)
 			}
 			return st
 		}
 		cal := kernels.Calibrate()
-		peak = cal.FlopsPerSecondPerCore * float64(run(1).Workers)
+		peak = cal.FlopsPerSecondPerCore * float64(runner(1).Workers)
 		if top == 0 {
 			top = 1 << 16
 		}
 	} else {
 		p, err := sim.ProfileByName(*profile)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		m := sim.Cori(*nodes)
 		wpn := 32
@@ -96,26 +134,38 @@ func main() {
 			wpn = *width / *nodes
 		}
 		w := sim.Workload{Dependence: dep, Radix: *radix, Steps: *steps, WidthPerNode: wpn}
-		run = metg.Runner(w.Runner(m, p))
+		runner = metg.Runner(w.Runner(m, p))
 		peak = m.PeakFlops()
 		if top == 0 {
 			top = 1 << 31
 		}
 	}
 
-	value, points, ok := metg.Search(run, top, peak, 0, *threshold, *density)
+	value, points, ok := metg.Search(runner, top, peak, 0, *threshold, *density)
 	fmt.Printf("%-12s %-14s %-10s\n", "iterations", "granularity", "efficiency")
 	for _, pt := range points {
 		fmt.Printf("%-12d %-14v %-10.3f\n", pt.Iterations, pt.Granularity.Round(time.Nanosecond), pt.Efficiency)
 	}
 	if !ok {
 		fmt.Printf("METG(%.0f%%): never reached\n", *threshold*100)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("METG(%.0f%%) = %v\n", *threshold*100, value.Round(time.Nanosecond))
+	return 0
 }
 
-func fatal(err error) {
+// fatal reports an error and returns the exit code for run, letting
+// deferred profile writers flush on the way out.
+func fatal(err error) int {
+	fmt.Fprintln(os.Stderr, "metg:", err)
+	return 1
+}
+
+// die aborts from inside a sweep callback, where no error return path
+// exists. The CPU profile is stopped first so a partial profile is
+// still readable.
+func die(err error) {
+	pprof.StopCPUProfile()
 	fmt.Fprintln(os.Stderr, "metg:", err)
 	os.Exit(1)
 }

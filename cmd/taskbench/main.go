@@ -13,6 +13,8 @@ package main
 import (
 	"fmt"
 	"os"
+	stdruntime "runtime"
+	"runtime/pprof"
 	"strconv"
 
 	"taskbench/internal/core"
@@ -33,9 +35,23 @@ func run(args []string) error {
 	backend := "p2p"
 	runs := 1
 	specPath := ""
+	cpuProfile := ""
+	memProfile := ""
 	var rest []string
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
+		case "-cpuprofile":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-cpuprofile requires a file path")
+			}
+			cpuProfile = args[i+1]
+			i++
+		case "-memprofile":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-memprofile requires a file path")
+			}
+			memProfile = args[i+1]
+			i++
 		case "-spec":
 			if i+1 >= len(args) {
 				return fmt.Errorf("-spec requires a JSON file path")
@@ -100,6 +116,18 @@ func run(args []string) error {
 			len(app.Graphs), app.TotalTasks(), app.TotalDependencies())
 	}
 
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var best core.RunStats
 	for r := 0; r < runs; r++ {
 		stats, err := rt.Run(app)
@@ -114,7 +142,23 @@ func run(args []string) error {
 		}
 	}
 	best.WriteReport(os.Stdout, backend)
-	return nil
+	return writeMemProfile(memProfile)
+}
+
+// writeMemProfile snapshots the heap into path (no-op when empty), for
+// chasing allocation regressions on the steady-state task path without
+// editing code.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	stdruntime.GC() // settle live-object counts before the snapshot
+	return pprof.WriteHeapProfile(f)
 }
 
 func usage() {
@@ -123,9 +167,11 @@ func usage() {
 Backends: %v
 
 Driver options:
-  -backend NAME   runtime backend (default p2p)
-  -runs N         repetitions; the best run is reported (default 1)
-  -spec FILE      load the configuration from a JSON spec instead of flags
+  -backend NAME     runtime backend (default p2p)
+  -runs N           repetitions; the best run is reported (default 1)
+  -spec FILE        load the configuration from a JSON spec instead of flags
+  -cpuprofile FILE  write a pprof CPU profile of the runs
+  -memprofile FILE  write a pprof heap profile after the runs
 
 Graph options (Table 1 of the paper; repeat after -and for more graphs):
   -steps H        timesteps (default 4)

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// depTableGraphs enumerates graphs covering every dependence pattern
+// over power-of-two and ragged widths, several radixes, periods and
+// seeds — the configuration space the compiled table must reproduce
+// bit-for-bit.
+func depTableGraphs(t *testing.T) []*Graph {
+	t.Helper()
+	var graphs []*Graph
+	for _, dep := range DependenceTypes() {
+		widths := []int{1, 2, 3, 5, 8, 16, 33}
+		if dep.RequiresPowerOfTwoWidth() {
+			widths = []int{1, 2, 8, 16, 64}
+		}
+		for _, w := range widths {
+			radixes := []int{0}
+			switch dep {
+			case Nearest:
+				radixes = dedupeRadixes([]int{0, 1, 3, 5, w}, w)
+			case Spread, RandomNearest:
+				radixes = dedupeRadixes([]int{1, 3, 5, w}, w)
+			}
+			for _, radix := range radixes {
+				periods := []int{0}
+				if dep == Spread || dep == RandomNearest {
+					periods = []int{1, 3, 5}
+				}
+				for _, period := range periods {
+					for _, seed := range []uint64{0, 42} {
+						g, err := New(Params{
+							Timesteps:  9,
+							MaxWidth:   w,
+							Dependence: dep,
+							Radix:      radix,
+							Period:     period,
+							Fraction:   0.4,
+							Seed:       seed,
+						})
+						if err != nil {
+							t.Fatalf("New(%s, w=%d, radix=%d, period=%d): %v",
+								dep, w, radix, period, err)
+						}
+						graphs = append(graphs, g)
+					}
+				}
+			}
+		}
+	}
+	return graphs
+}
+
+// dedupeRadixes drops candidates above the width (invalid) and
+// duplicates introduced by the clamp.
+func dedupeRadixes(candidates []int, w int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range candidates {
+		if r <= w && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestDepTableMatchesReference checks that the compiled forward and
+// reverse relations agree exactly with the per-call reference
+// implementations for every dependence set and column.
+func TestDepTableMatchesReference(t *testing.T) {
+	for _, g := range depTableGraphs(t) {
+		dt := g.Deps()
+		for dset := 0; dset < g.MaxDependenceSets(); dset++ {
+			for i := 0; i < g.MaxWidth; i++ {
+				want := g.Dependencies(dset, i)
+				got := dt.Forward(dset, i)
+				if !reflect.DeepEqual(got.Points(), want.Points()) {
+					t.Fatalf("%s w=%d radix=%d: Forward(%d, %d) = %v, want %v",
+						g.Dependence, g.MaxWidth, g.Radix, dset, i, got, want)
+				}
+				wantRev := g.ReverseDependencies(dset, i)
+				gotRev := dt.Reverse(dset, i)
+				if !reflect.DeepEqual(gotRev.Points(), wantRev.Points()) {
+					t.Fatalf("%s w=%d radix=%d: Reverse(%d, %d) = %v, want %v",
+						g.Dependence, g.MaxWidth, g.Radix, dset, i, gotRev, wantRev)
+				}
+			}
+		}
+	}
+}
+
+// TestPointItersMatchReference checks the clipped per-point iterators
+// against DependenciesForPoint / ReverseDependenciesForPoint for every
+// task of every graph, including Count and NextSpan consistency.
+func TestPointItersMatchReference(t *testing.T) {
+	collect := func(it PointIter) []int {
+		pts := make([]int, 0, 8)
+		for p, ok := it.Next(); ok; p, ok = it.Next() {
+			pts = append(pts, p)
+		}
+		return pts
+	}
+	collectSpans := func(it PointIter) []int {
+		pts := make([]int, 0, 8)
+		for iv, ok := it.NextSpan(); ok; iv, ok = it.NextSpan() {
+			for p := iv.First; p <= iv.Last; p++ {
+				pts = append(pts, p)
+			}
+		}
+		return pts
+	}
+	for _, g := range depTableGraphs(t) {
+		for ts := 0; ts < g.Timesteps; ts++ {
+			for i := 0; i < g.WidthAtTimestep(ts); i++ {
+				want := g.DependenciesForPoint(ts, i).Points()
+				it := g.PointDeps(ts, i)
+				if got := it.Count(); got != len(want) {
+					t.Fatalf("%s w=%d: PointDeps(%d, %d).Count() = %d, want %d",
+						g.Dependence, g.MaxWidth, ts, i, got, len(want))
+				}
+				if got := collect(g.PointDeps(ts, i)); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s w=%d: PointDeps(%d, %d) = %v, want %v",
+						g.Dependence, g.MaxWidth, ts, i, got, want)
+				}
+				if got := collectSpans(g.PointDeps(ts, i)); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s w=%d: PointDeps(%d, %d) spans = %v, want %v",
+						g.Dependence, g.MaxWidth, ts, i, got, want)
+				}
+				wantRev := g.ReverseDependenciesForPoint(ts, i).Points()
+				if got := collect(g.PointConsumers(ts, i)); !reflect.DeepEqual(got, wantRev) {
+					t.Fatalf("%s w=%d: PointConsumers(%d, %d) = %v, want %v",
+						g.Dependence, g.MaxWidth, ts, i, got, wantRev)
+				}
+			}
+		}
+	}
+}
+
+// TestPointIterZeroValue checks that the zero iterator is empty and
+// that out-of-graph queries return it.
+func TestPointIterZeroValue(t *testing.T) {
+	var it PointIter
+	if _, ok := it.Next(); ok {
+		t.Error("zero PointIter yielded a point")
+	}
+	if n := it.Count(); n != 0 {
+		t.Errorf("zero PointIter Count = %d", n)
+	}
+	g := MustNew(Params{Timesteps: 4, MaxWidth: 4, Dependence: Stencil1D})
+	for _, bad := range [][2]int{{0, 0}, {-1, 2}, {4, 0}, {2, -1}, {2, 4}} {
+		it := g.PointDeps(bad[0], bad[1])
+		if bad[0] == 0 && bad[1] == 0 {
+			// First timestep: in the graph but has no dependencies.
+			if n := it.Count(); n != 0 {
+				t.Errorf("PointDeps(0, 0).Count() = %d, want 0", n)
+			}
+			continue
+		}
+		if _, ok := it.Next(); ok {
+			t.Errorf("PointDeps(%d, %d) yielded a point for an invalid task", bad[0], bad[1])
+		}
+	}
+}
+
+// TestDepTableOutOfRange checks the table's bounds guards match the
+// reference methods' behavior (empty result, no panic).
+func TestDepTableOutOfRange(t *testing.T) {
+	g := MustNew(Params{Timesteps: 4, MaxWidth: 8, Dependence: Spread, Radix: 3})
+	dt := g.Deps()
+	for _, q := range [][2]int{{-1, 0}, {g.MaxDependenceSets(), 0}, {0, -1}, {0, 8}} {
+		if got := dt.Forward(q[0], q[1]); got != nil {
+			t.Errorf("Forward(%d, %d) = %v, want nil", q[0], q[1], got)
+		}
+		if got := dt.Reverse(q[0], q[1]); got != nil {
+			t.Errorf("Reverse(%d, %d) = %v, want nil", q[0], q[1], got)
+		}
+	}
+}

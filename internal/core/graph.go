@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"taskbench/internal/kernels"
 )
@@ -69,6 +70,12 @@ type Graph struct {
 
 	revOnce  sync.Once
 	revTable [][]IntervalList // [dset][point] -> reverse deps
+
+	depOnce  sync.Once
+	depTable atomic.Pointer[DepTable] // compiled relation; see deptable.go
+
+	totalDepsOnce sync.Once
+	totalDeps     int64
 }
 
 // New validates the parameters and builds a Graph.
@@ -414,17 +421,25 @@ func (g *Graph) buildReverse() {
 }
 
 // TotalDependencies counts every dependence edge in the graph, used by
-// reporting and by the simulator's message accounting.
+// reporting and by the simulator's message accounting. The count is
+// computed once from the compiled table and memoized: StatsFor calls
+// this at every run, and before memoization the O(tasks) walk through
+// the allocating per-call path dominated the steady-state allocation
+// profile of small-granularity sweeps.
 func (g *Graph) TotalDependencies() int64 {
-	var n int64
-	for t := 1; t < g.Timesteps; t++ {
-		off := g.OffsetAtTimestep(t)
-		w := g.WidthAtTimestep(t)
-		for i := off; i < off+w; i++ {
-			n += int64(g.DependenciesForPoint(t, i).Count())
+	g.totalDepsOnce.Do(func() {
+		var n int64
+		for t := 1; t < g.Timesteps; t++ {
+			off := g.OffsetAtTimestep(t)
+			w := g.WidthAtTimestep(t)
+			for i := off; i < off+w; i++ {
+				it := g.PointDeps(t, i)
+				n += int64(it.Count())
+			}
 		}
-	}
-	return n
+		g.totalDeps = n
+	})
+	return g.totalDeps
 }
 
 // sortInts is insertion sort; dependence lists are tiny (≤ radix).

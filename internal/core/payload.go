@@ -29,23 +29,54 @@ func (e *ValidationError) Error() string {
 		e.Timestep, e.Point, e.GraphID, e.Detail)
 }
 
-// fillByte is the deterministic pattern byte at offset k of the payload
-// produced by task (t, i).
-func fillByte(t, i, k int) byte {
-	return byte(uint32(t)*31 + uint32(i)*17 + uint32(k)*7 + 11)
+// fillSeed derives the per-task seed of the deterministic fill
+// pattern. Uniqueness of the payload is carried by the exact (t, i)
+// header; the fill only needs to be deterministic and well spread so
+// corruption anywhere is detectable at sampled offsets.
+func fillSeed(t, i int) uint64 {
+	return splitmix64(uint64(int64(t))<<32 ^ uint64(int64(i)) ^ 0x7461736b62656e63)
+}
+
+// fillWord is 64-bit lane w of the fill pattern, covering payload bytes
+// [PayloadHeaderSize+8w, PayloadHeaderSize+8w+8). One multiply-add and
+// one xor-shift per 8 bytes, so filling runs word-wise instead of the
+// byte-at-a-time loop that used to dominate WriteOutput for large
+// payloads.
+func fillWord(seed uint64, w int) uint64 {
+	v := seed + uint64(w+1)*0x9e3779b97f4a7c15
+	return v ^ (v >> 29)
+}
+
+// fillByteAt is the pattern byte at payload offset k (with
+// k >= PayloadHeaderSize), consistent with the word-wise fill so
+// validation can sample individual bytes.
+func fillByteAt(seed uint64, k int) byte {
+	body := k - PayloadHeaderSize
+	return byte(fillWord(seed, body>>3) >> (8 * uint(body&7)))
 }
 
 // WriteOutput encodes task (t, i)'s unique output into buf, which must
 // be at least PayloadHeaderSize bytes (guaranteed by Params
-// validation). The bytes beyond the header carry the fill pattern.
+// validation). The bytes beyond the header carry the fill pattern,
+// written in uint64 lanes.
 func (g *Graph) WriteOutput(t, i int, buf []byte) {
 	if len(buf) < PayloadHeaderSize {
 		panic("core: output buffer smaller than payload header")
 	}
 	binary.LittleEndian.PutUint64(buf[0:8], uint64(int64(t)))
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(int64(i)))
-	for k := PayloadHeaderSize; k < len(buf); k++ {
-		buf[k] = fillByte(t, i, k)
+	seed := fillSeed(t, i)
+	body := buf[PayloadHeaderSize:]
+	w := 0
+	for ; len(body) >= 8; w++ {
+		binary.LittleEndian.PutUint64(body, fillWord(seed, w))
+		body = body[8:]
+	}
+	if len(body) > 0 {
+		v := fillWord(seed, w)
+		for k := range body {
+			body[k] = byte(v >> (8 * uint(k)))
+		}
 	}
 }
 
@@ -58,25 +89,28 @@ func decodeHeader(buf []byte) (t, i int64) {
 // checkInput validates one input payload against the expected producer
 // (wantT, wantI). The header is checked exactly; the fill pattern is
 // sampled at the first, middle and last bytes, keeping the validation
-// overhead below the paper's 3% bound even for large payloads.
+// overhead below the paper's 3% bound even for large payloads. The
+// success path allocates nothing — error values are only constructed
+// on failure.
 func (g *Graph) checkInput(t, i int, buf []byte, wantT, wantI int) error {
-	fail := func(detail string) error {
-		return &ValidationError{GraphID: g.GraphID, Timestep: t, Point: i, Detail: detail}
-	}
 	if len(buf) != g.OutputBytes {
-		return fail(fmt.Sprintf("input from (t=%d, i=%d) has %d bytes, want %d",
-			wantT, wantI, len(buf), g.OutputBytes))
+		return &ValidationError{GraphID: g.GraphID, Timestep: t, Point: i,
+			Detail: fmt.Sprintf("input from (t=%d, i=%d) has %d bytes, want %d",
+				wantT, wantI, len(buf), g.OutputBytes)}
 	}
 	gotT, gotI := decodeHeader(buf)
 	if gotT != int64(wantT) || gotI != int64(wantI) {
-		return fail(fmt.Sprintf("input header is (t=%d, i=%d), want (t=%d, i=%d)",
-			gotT, gotI, wantT, wantI))
+		return &ValidationError{GraphID: g.GraphID, Timestep: t, Point: i,
+			Detail: fmt.Sprintf("input header is (t=%d, i=%d), want (t=%d, i=%d)",
+				gotT, gotI, wantT, wantI)}
 	}
 	if len(buf) > PayloadHeaderSize {
-		samples := []int{PayloadHeaderSize, (PayloadHeaderSize + len(buf)) / 2, len(buf) - 1}
+		seed := fillSeed(wantT, wantI)
+		samples := [3]int{PayloadHeaderSize, (PayloadHeaderSize + len(buf)) / 2, len(buf) - 1}
 		for _, k := range samples {
-			if buf[k] != fillByte(wantT, wantI, k) {
-				return fail(fmt.Sprintf("input from (t=%d, i=%d) corrupt at byte %d", wantT, wantI, k))
+			if buf[k] != fillByteAt(seed, k) {
+				return &ValidationError{GraphID: g.GraphID, Timestep: t, Point: i,
+					Detail: fmt.Sprintf("input from (t=%d, i=%d) corrupt at byte %d", wantT, wantI, k)}
 			}
 		}
 	}
@@ -98,21 +132,20 @@ func (g *Graph) ExecutePoint(t, i int, output []byte, inputs [][]byte, scratch *
 			Detail: "task is outside the graph"}
 	}
 	if validate {
-		deps := g.DependenciesForPoint(t, i)
-		if got, want := len(inputs), deps.Count(); got != want {
+		// The compiled table keeps the steady-state validation path
+		// allocation-free: the naive DependenciesForPoint would allocate
+		// two IntervalLists per executed task.
+		it := g.PointDeps(t, i)
+		if got, want := len(inputs), it.Count(); got != want {
 			return &ValidationError{GraphID: g.GraphID, Timestep: t, Point: i,
 				Detail: fmt.Sprintf("got %d inputs, want %d", got, want)}
 		}
 		n := 0
-		var err error
-		deps.ForEach(func(dep int) {
-			if err == nil {
-				err = g.checkInput(t, i, inputs[n], t-1, dep)
+		for dep, ok := it.Next(); ok; dep, ok = it.Next() {
+			if err := g.checkInput(t, i, inputs[n], t-1, dep); err != nil {
+				return err
 			}
 			n++
-		})
-		if err != nil {
-			return err
 		}
 	}
 

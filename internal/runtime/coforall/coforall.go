@@ -79,8 +79,9 @@ func (rt) Run(app *core.App) (core.RunStats, error) {
 					go func(chunk exec.Span) {
 						defer wg.Done()
 						var inputs [][]byte
+						prev := st.rows.Prev
 						for i := off + chunk.Lo; i < off+chunk.Hi; i++ {
-							inputs = exec.GatherInputs(g, t, i, st.rows.Prev, inputs)
+							inputs = exec.GatherInputs(g, t, i, prev, inputs)
 							out := st.rows.Cur(i)
 							err := g.ExecutePoint(t, i, out, inputs, st.scratch[i], app.Validate && !firstErr.Failed())
 							if err != nil {

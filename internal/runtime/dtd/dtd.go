@@ -103,13 +103,17 @@ func (p policy) Step(rc *exec.RankCtx, t int) {
 				// Dynamic check: would this remote task exchange data
 				// with any column this rank owns? This scan is the
 				// per-task cost that grows with graph width and rank
-				// count.
+				// count. The interval iterator keeps the check itself
+				// allocation-free — the overhead measured here is the
+				// discovery walk, not benchmark-injected garbage.
 				touches := false
-				g.DependenciesForPoint(t, i).ForEach(func(dep int) {
-					if dep >= span.Lo && dep < span.Hi {
+				deps := g.PointDeps(t, i)
+				for iv, ok := deps.NextSpan(); ok; iv, ok = deps.NextSpan() {
+					if iv.First < span.Hi && iv.Last >= span.Lo {
 						touches = true
+						break
 					}
-				})
+				}
 				if touches {
 					checks++
 				}

@@ -1,0 +1,129 @@
+package exec_test
+
+// Allocation-regression tests for the steady-state task execution
+// path. METG is a measurement of runtime overhead at vanishing task
+// granularity, so every per-task heap allocation the benchmark itself
+// performs pollutes the measurement: these tests pin the per-task
+// allocation count of a warmed-up engine-backed run and a warmed-up
+// rank-backed run at zero.
+//
+// Method: per-run allocations are fixedOverhead + tasks·perTask (the
+// fixed part covers goroutine spawns, the stats struct, policy Init).
+// Measuring two session sizes and differencing isolates perTask, which
+// must be ~0. A small tolerance absorbs runtime-internal noise
+// (occasional sync.Pool chain growth, stack growth).
+
+import (
+	"testing"
+	"unsafe"
+
+	"taskbench/internal/core"
+	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+
+	_ "taskbench/internal/runtime/graphexec"
+	_ "taskbench/internal/runtime/p2p"
+)
+
+// perTaskAllocBudget is the tolerated per-task allocation estimate.
+// A real regression costs ≥1 alloc per task; noise amortized over the
+// ~2000-task size delta stays far below this.
+const perTaskAllocBudget = 0.05
+
+func allocApp(steps int) *core.App {
+	app := core.NewApp(core.MustNew(core.Params{
+		Timesteps: steps, MaxWidth: 8, Dependence: core.Stencil1D, OutputBytes: 64,
+	}))
+	app.Workers = 4
+	return app
+}
+
+func TestZeroAllocsPerTaskEngine(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless")
+	}
+	allocsAt := func(steps int) (float64, int64) {
+		rt, err := runtime.New("graphexec")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, ok := rt.(runtime.PolicyBacked)
+		if !ok {
+			t.Fatal("graphexec is not policy-backed")
+		}
+		app := allocApp(steps)
+		sess := exec.NewSession(app, pb.Policy())
+		var runErr error
+		run := func() {
+			_, runErr = sess.Run()
+		}
+		run() // warm: populate buffer pools and grow queues
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		allocs := testing.AllocsPerRun(5, run)
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		return allocs, app.TotalTasks()
+	}
+	smallAllocs, smallTasks := allocsAt(16)
+	bigAllocs, bigTasks := allocsAt(272)
+	perTask := (bigAllocs - smallAllocs) / float64(bigTasks-smallTasks)
+	if perTask > perTaskAllocBudget {
+		t.Errorf("engine steady state allocates %.3f allocs/task, want 0 (run allocs: %d tasks → %.0f, %d tasks → %.0f)",
+			perTask, smallTasks, smallAllocs, bigTasks, bigAllocs)
+	}
+}
+
+func TestZeroAllocsPerTaskRanks(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless")
+	}
+	allocsAt := func(steps int) (float64, int64) {
+		rt, err := runtime.New("p2p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, ok := rt.(runtime.RankBacked)
+		if !ok {
+			t.Fatal("p2p is not rank-backed")
+		}
+		app := allocApp(steps)
+		sess, err := exec.NewRankSession(app, rb.RankPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(sess.Close)
+		var runErr error
+		run := func() {
+			_, runErr = sess.Run()
+		}
+		run() // warm: populate the fabric's payload free lists
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		allocs := testing.AllocsPerRun(5, run)
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		return allocs, app.TotalTasks()
+	}
+	smallAllocs, smallTasks := allocsAt(16)
+	bigAllocs, bigTasks := allocsAt(272)
+	perTask := (bigAllocs - smallAllocs) / float64(bigTasks-smallTasks)
+	if perTask > perTaskAllocBudget {
+		t.Errorf("rank steady state allocates %.3f allocs/task, want 0 (run allocs: %d tasks → %.0f, %d tasks → %.0f)",
+			perTask, smallTasks, smallAllocs, bigTasks, bigAllocs)
+	}
+}
+
+// TestPlannedTaskPadding pins the false-sharing fix: task slots must
+// tile in whole multiples of 128 bytes (two cache lines) so adjacent
+// tasks' atomic counters never share a line.
+func TestPlannedTaskPadding(t *testing.T) {
+	var task exec.PlannedTask
+	if size := unsafe.Sizeof(task); size%128 != 0 {
+		t.Errorf("PlannedTask is %d bytes, want a multiple of 128", size)
+	}
+}

@@ -288,11 +288,14 @@ func (r *Rows) Rehome() {
 }
 
 // GatherInputs appends the input payloads of task (t, i) drawn from
-// prev rows, in dependence order, reusing dst.
+// prev rows, in dependence order, reusing dst. Hot callers should
+// hoist the prev func value out of their task loop so the closure is
+// created once per run, not once per task.
 func GatherInputs(g *core.Graph, t, i int, prev func(int) []byte, dst [][]byte) [][]byte {
 	dst = dst[:0]
-	g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+	it := g.PointDeps(t, i)
+	for dep, ok := it.Next(); ok; dep, ok = it.Next() {
 		dst = append(dst, prev(dep))
-	})
+	}
 	return dst
 }

@@ -17,21 +17,25 @@ type Edge struct {
 // the in-process Fabric and the tcp backend's wire transport, which
 // must agree exactly on which edges exist.
 func CrossEdges(g *core.Graph, ranks int, fn func(producer, consumer int)) {
+	dt := g.Deps()
+	w := g.MaxWidth
 	seen := map[Edge]struct{}{}
 	for dset := 0; dset < g.MaxDependenceSets(); dset++ {
-		for i := 0; i < g.MaxWidth; i++ {
-			consRank := OwnerOf(i, g.MaxWidth, ranks)
-			g.Dependencies(dset, i).ForEach(func(j int) {
-				if j < 0 || j >= g.MaxWidth || OwnerOf(j, g.MaxWidth, ranks) == consRank {
-					return
+		for i := 0; i < w; i++ {
+			consRank := OwnerOf(i, w, ranks)
+			for _, iv := range dt.Forward(dset, i) {
+				for j := max(iv.First, 0); j <= min(iv.Last, w-1); j++ {
+					if OwnerOf(j, w, ranks) == consRank {
+						continue
+					}
+					e := Edge{Producer: j, Consumer: i}
+					if _, dup := seen[e]; dup {
+						continue
+					}
+					seen[e] = struct{}{}
+					fn(j, i)
 				}
-				e := Edge{Producer: j, Consumer: i}
-				if _, dup := seen[e]; dup {
-					return
-				}
-				seen[e] = struct{}{}
-				fn(j, i)
-			})
+			}
 		}
 	}
 }
@@ -46,6 +50,46 @@ func CrossEdges(g *core.Graph, ranks int, fn func(producer, consumer int)) {
 type Fabric struct {
 	// chans[g] maps consumer column -> producer column -> channel.
 	chans []map[int]map[int]chan []byte
+	// free[g] recycles delivered payload buffers of graph g, so
+	// steady-state sends stop allocating: Send draws its copy buffer
+	// here and consumers return buffers after validating them.
+	free []PayloadPool
+}
+
+// PayloadPool is a bounded free list of payload buffers — the shared
+// recycling mechanism of the in-process Fabric and the tcp wire
+// transport's demultiplexers, which must agree on behavior so the
+// zero-allocs steady state holds on both. Get never blocks (it falls
+// back to allocating when the pool is empty or the recycled buffer is
+// too small) and Put never blocks (it drops the buffer when the pool
+// is full).
+type PayloadPool struct{ ch chan []byte }
+
+// NewEdgePool sizes a pool for one graph's cross-rank traffic: every
+// edge full (edgeCap messages in flight) plus one buffer per edge held
+// by its consumer, so a warmed-up steady state never allocates.
+func NewEdgePool(edges, edgeCap int) PayloadPool {
+	return PayloadPool{ch: make(chan []byte, edges*(edgeCap+1)+1)}
+}
+
+// Get returns a buffer of the given length, recycled when possible.
+func (p PayloadPool) Get(length int) []byte {
+	select {
+	case buf := <-p.ch:
+		if cap(buf) >= length {
+			return buf[:length]
+		}
+	default:
+	}
+	return make([]byte, length)
+}
+
+// Put returns a consumed buffer to the pool, dropping it when full.
+func (p PayloadPool) Put(buf []byte) {
+	select {
+	case p.ch <- buf:
+	default:
+	}
 }
 
 // edgeCap bounds the per-edge buffering, like MPI's eager buffers. A
@@ -70,9 +114,15 @@ func NewFabric(app *core.App, ranks int) *Fabric {
 // NewFabricFromEdges builds the per-edge channels for precomputed
 // cross-rank edge lists (one list per graph), letting a reusable
 // RankPlan share one enumeration across fabric construction and wire
-// transports.
+// transports. Each graph also gets a free list sized for the worst
+// case of in-flight messages (every edge full plus a buffer per edge
+// held by its consumer), so a warmed-up fabric never allocates.
 func NewFabricFromEdges(lists [][]Edge) *Fabric {
-	return &Fabric{chans: EdgeQueues(lists, edgeCap)}
+	f := &Fabric{chans: EdgeQueues(lists, edgeCap), free: make([]PayloadPool, len(lists))}
+	for gi, edges := range lists {
+		f.free[gi] = NewEdgePool(len(edges), edgeCap)
+	}
+	return f
 }
 
 // EdgeQueues builds the per-edge queue maps (consumer → producer →
@@ -110,15 +160,26 @@ func (f *Fabric) Remote(graph, producer, consumer int) bool {
 
 // Send transmits a copy of payload along the edge producer→consumer.
 // The copy models the network's ownership transfer: the producer is
-// free to reuse its output buffer immediately.
+// free to reuse its output buffer immediately. The copy buffer comes
+// from the graph's free list when one is available, so steady-state
+// communication is allocation-free once the first run has populated
+// the list (consumers return buffers via Recycle).
 func (f *Fabric) Send(graph, producer, consumer int, payload []byte) {
-	msg := make([]byte, len(payload))
+	msg := f.free[graph].Get(len(payload))
 	copy(msg, payload)
 	f.chans[graph][consumer][producer] <- msg
 }
 
 // Recv blocks until the next message on the edge producer→consumer
-// arrives and returns it. The caller owns the returned buffer.
+// arrives and returns it. The caller owns the returned buffer and
+// should Recycle it once the payload has been consumed.
 func (f *Fabric) Recv(graph, producer, consumer int) []byte {
 	return <-f.chans[graph][consumer][producer]
+}
+
+// Recycle returns a delivered payload buffer to graph's free list for
+// reuse by a later Send, dropping the buffer if the list is full. Only
+// buffers obtained from Recv on this fabric may be recycled.
+func (f *Fabric) Recycle(graph int, payload []byte) {
+	f.free[graph].Put(payload)
 }

@@ -3,6 +3,7 @@ package exec
 import (
 	stdruntime "runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"taskbench/internal/core"
 	"taskbench/internal/kernels"
@@ -38,8 +39,9 @@ type Plan struct {
 	scratch [][]*kernels.Scratch
 }
 
-// PlannedTask is one node of the expanded DAG.
-type PlannedTask struct {
+// plannedTask carries the fields of PlannedTask; see PlannedTask for
+// why the two types are split.
+type plannedTask struct {
 	// Exists is false for slots that are outside a graph's active
 	// window (e.g. early timesteps of the tree pattern).
 	Exists bool
@@ -48,15 +50,26 @@ type PlannedTask struct {
 	// Counter holds the number of unsatisfied scheduling
 	// predecessors.
 	Counter atomic.Int32
-	// Inputs are the producer task IDs in dependence order.
-	Inputs []int32
-	// Consumers are the scheduling successor task IDs.
-	Consumers []int32
 	// PayloadRefs is the number of tasks that read this task's output
 	// payload. The buffer is allocated with PayloadRefs+1 references;
 	// the extra one belongs to the producer and is dropped right after
 	// execution, so buffers with no readers recycle immediately.
 	PayloadRefs int32
+	// Inputs are the producer task IDs in dependence order.
+	Inputs []int32
+	// Consumers are the scheduling successor task IDs.
+	Consumers []int32
+}
+
+// PlannedTask is one node of the expanded DAG. The embedded payload is
+// padded out to a multiple of 128 bytes (two cache lines, covering the
+// adjacent-line prefetcher) so that the Counters of neighboring tasks —
+// decremented concurrently by different workers during burn-down —
+// never false-share a cache line. Task slots in Plan.Tasks are
+// therefore line-aligned relative to each other.
+type PlannedTask struct {
+	plannedTask
+	_ [(128 - unsafe.Sizeof(plannedTask{})%128) % 128]byte
 }
 
 // buildParallelThreshold is the task count below which BuildPlan stays
@@ -80,7 +93,7 @@ func BuildPlan(app *core.App) *Plan {
 	p.Tasks = make([]PlannedTask, total)
 	p.initCount = make([]int32, total)
 
-	// One job per (graph, column span). The reverse-dependence tables
+	// One job per (graph, column span). The compiled dependence tables
 	// are built eagerly so workers only read shared graph state.
 	type job struct {
 		gi     int
@@ -92,7 +105,7 @@ func BuildPlan(app *core.App) *Plan {
 		workers = 1
 	}
 	for gi, g := range app.Graphs {
-		g.PrecomputeReverse()
+		g.PrecomputeDeps()
 		n := workers
 		if n > g.MaxWidth {
 			n = g.MaxWidth
@@ -141,13 +154,14 @@ func (p *Plan) fillColumns(gi, lo, hi int) []int32 {
 
 			nDeps := 0
 			selfDep := false
-			g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+			deps := g.PointDeps(t, i)
+			for dep, ok := deps.Next(); ok; dep, ok = deps.Next() {
 				task.Inputs = append(task.Inputs, p.ID(gi, t-1, dep))
 				nDeps++
 				if dep == i {
 					selfDep = true
 				}
-			})
+			}
 			// Scratch serialization edge from the column's previous
 			// task (no payload).
 			if serializeColumns && !selfDep && t > 0 && g.ContainsPoint(t-1, i) {
@@ -155,21 +169,23 @@ func (p *Plan) fillColumns(gi, lo, hi int) []int32 {
 			}
 
 			refs := int32(0)
-			g.ReverseDependenciesForPoint(t, i).ForEach(func(cons int) {
-				task.Consumers = append(task.Consumers, p.ID(gi, t+1, cons))
+			cons := g.PointConsumers(t, i)
+			for c, ok := cons.Next(); ok; c, ok = cons.Next() {
+				task.Consumers = append(task.Consumers, p.ID(gi, t+1, c))
 				refs++
-			})
+			}
 			task.PayloadRefs = refs
 			// Mirror of the serialization edge: this task schedules the
 			// column's next task when that task does not already
 			// consume this one.
 			if serializeColumns && g.ContainsPoint(t+1, i) {
 				consumesSelf := false
-				g.DependenciesForPoint(t+1, i).ForEach(func(dep int) {
+				next := g.PointDeps(t+1, i)
+				for dep, ok := next.Next(); ok; dep, ok = next.Next() {
 					if dep == i {
 						consumesSelf = true
 					}
-				})
+				}
 				if !consumesSelf {
 					task.Consumers = append(task.Consumers, p.ID(gi, t+1, i))
 				}
@@ -189,9 +205,30 @@ func (p *Plan) fillColumns(gi, lo, hi int) []int32 {
 // ready for another run without rebuilding the O(tasks) DAG. The seed
 // list, inputs, consumers and payload reference counts are immutable,
 // so only the counters need restoring. Scratch buffers keep their
-// contents: they model persistent per-column working sets.
+// contents: they model persistent per-column working sets. Plans above
+// buildParallelThreshold fan the counter walk out over task spans, so
+// an METG sweep does not pay a serial O(tasks) pass at every
+// measurement point.
 func (p *Plan) Reset() {
-	for id := range p.Tasks {
+	n := len(p.Tasks)
+	workers := stdruntime.GOMAXPROCS(0)
+	if n < buildParallelThreshold || workers <= 1 {
+		p.resetSpan(0, n)
+		return
+	}
+	jobs := make([]func(), 0, workers)
+	for _, span := range BlockAssign(n, workers) {
+		if span.Len() > 0 {
+			span := span
+			jobs = append(jobs, func() { p.resetSpan(span.Lo, span.Hi) })
+		}
+	}
+	runJobs(workers, jobs)
+}
+
+// resetSpan restores the counters of task IDs [lo, hi).
+func (p *Plan) resetSpan(lo, hi int) {
+	for id := lo; id < hi; id++ {
 		p.Tasks[id].Counter.Store(p.initCount[id])
 	}
 }

@@ -19,6 +19,11 @@ type Transport interface {
 	// Recv blocks until the next payload on the edge arrives and
 	// returns it; the caller owns the returned buffer.
 	Recv(graph, producer, consumer int) []byte
+	// Recycle hands a buffer returned by Recv back to the transport
+	// once its payload has been consumed, so steady-state messaging can
+	// reuse buffers instead of allocating. Transports may drop the
+	// buffer; callers must not touch it afterwards.
+	Recycle(graph int, payload []byte)
 	// Err reports any asynchronous transport failure observed so far.
 	Err() error
 	// Close releases transport resources.
@@ -40,6 +45,10 @@ func (t fabricTransport) Send(rank, graph, producer, consumer int, payload []byt
 
 func (t fabricTransport) Recv(graph, producer, consumer int) []byte {
 	return t.f.Recv(graph, producer, consumer)
+}
+
+func (t fabricTransport) Recycle(graph int, payload []byte) {
+	t.f.Recycle(graph, payload)
 }
 
 func (t fabricTransport) Err() error { return nil }
@@ -189,20 +198,38 @@ func (rc *RankCtx) Run(gi, t, i int) []byte {
 
 // RunInto is Run with a caller-owned gather buffer, for policies that
 // execute a rank's tasks on several goroutines. It returns the reused
-// buffer and the task's output.
+// buffer and the task's output. Received remote payloads are recycled
+// back to the transport after execution, so steady-state communication
+// reuses buffers instead of allocating.
 func (rc *RankCtx) RunInto(inputs [][]byte, gi, t, i int) ([][]byte, []byte) {
 	g := rc.Graph(gi)
 	span := rc.Span(gi)
 	rows := rc.plan().Rows(rc.Rank, gi)
+	tr := rc.engine.transport
 	inputs = inputs[:0]
-	g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+	deps := g.PointDeps(t, i)
+	for dep, ok := deps.Next(); ok; dep, ok = deps.Next() {
 		if dep >= span.Lo && dep < span.Hi {
 			inputs = append(inputs, rows.Prev(dep))
 		} else {
-			inputs = append(inputs, rc.engine.transport.Recv(gi, dep, i))
+			inputs = append(inputs, tr.Recv(gi, dep, i))
 		}
-	})
-	return inputs, rc.ExecWith(gi, t, i, inputs)
+	}
+	out := rc.ExecWith(gi, t, i, inputs)
+	// The remote inputs are dead now (validation samples them during
+	// ExecWith); hand their buffers back to the transport. Re-walking
+	// the relation recovers which gathered inputs were remote without
+	// any per-call bookkeeping state (RunInto must stay reentrant for
+	// hybrid's intra-rank threads).
+	n := 0
+	deps = g.PointDeps(t, i)
+	for dep, ok := deps.Next(); ok; dep, ok = deps.Next() {
+		if dep < span.Lo || dep >= span.Hi {
+			tr.Recycle(gi, inputs[n])
+		}
+		n++
+	}
+	return inputs, out
 }
 
 // ExecWith executes task (t, i) of graph gi with explicitly gathered
@@ -225,11 +252,19 @@ func (rc *RankCtx) ExecWith(gi, t, i int, inputs [][]byte) []byte {
 func (rc *RankCtx) SendOutputs(gi, t, i int, out []byte) {
 	g := rc.Graph(gi)
 	tr := rc.engine.transport
-	g.ReverseDependenciesForPoint(t, i).ForEach(func(cons int) {
-		if tr.Remote(gi, i, cons) {
-			rc.Send(gi, i, cons, out)
+	cons := g.PointConsumers(t, i)
+	for c, ok := cons.Next(); ok; c, ok = cons.Next() {
+		if tr.Remote(gi, i, c) {
+			rc.Send(gi, i, c, out)
 		}
-	})
+	}
+}
+
+// Recycle hands a received payload buffer back to the transport once
+// the policy is done with it, for policies (ptg) that gather inputs
+// themselves instead of going through RunInto.
+func (rc *RankCtx) Recycle(gi int, payload []byte) {
+	rc.engine.transport.Recycle(gi, payload)
 }
 
 // RankEngine executes a RankPlan under a pluggable RankPolicy. It owns

@@ -80,6 +80,10 @@ func BuildRankPlan(app *core.App, ranks int) *RankPlan {
 // buffers of one graph.
 func (p *RankPlan) fillGraph(gi int) {
 	g := p.App.Graphs[gi]
+	// Compile the dependence table up front: CrossEdges reads it here,
+	// and every rank's Step-time queries (gather, send routing) hit the
+	// already-built table instead of racing through the lazy build.
+	g.PrecomputeDeps()
 	p.spans[gi] = BlockAssign(g.MaxWidth, p.Ranks)
 	CrossEdges(g, p.Ranks, func(producer, consumer int) {
 		p.edges[gi] = append(p.edges[gi], Edge{Producer: producer, Consumer: consumer})
@@ -137,7 +141,10 @@ func (p *RankPlan) Scratch(gi, i int) *kernels.Scratch { return p.scratch[gi][i]
 // immutable, transport queues drain themselves (every send of a run is
 // matched by a receive, even on the error path, because ranks keep the
 // protocol flowing after a failure), and scratch buffers persist by
-// design — they model per-column working sets.
+// design — they model per-column working sets. Unlike Plan.Reset there
+// is no O(tasks) walk to parallelize here: each Rows.Rehome is at most
+// one pair of slice-header swaps, so the whole reset is
+// O(ranks × graphs) regardless of graph size.
 func (p *RankPlan) Reset() {
 	for _, rows := range p.rows {
 		for _, r := range rows {

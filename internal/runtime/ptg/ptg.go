@@ -105,17 +105,19 @@ func compileRank(plan *exec.RankPlan, rank int) []rankSchedule {
 			hi := min(span.Hi, off+w)
 			for i := lo; i < hi; i++ {
 				task := compiledTask{col: i}
-				g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+				deps := g.PointDeps(t, i)
+				for dep, ok := deps.Next(); ok; dep, ok = deps.Next() {
 					task.inputs = append(task.inputs, compiledInput{
 						col:    dep,
 						remote: dep < span.Lo || dep >= span.Hi,
 					})
-				})
-				g.ReverseDependenciesForPoint(t, i).ForEach(func(cons int) {
-					if cons < span.Lo || cons >= span.Hi {
-						task.sendsTo = append(task.sendsTo, cons)
+				}
+				cons := g.PointConsumers(t, i)
+				for c, ok := cons.Next(); ok; c, ok = cons.Next() {
+					if c < span.Lo || c >= span.Hi {
+						task.sendsTo = append(task.sendsTo, c)
 					}
-				})
+				}
 				sched.steps[t].tasks = append(sched.steps[t].tasks, task)
 			}
 		}
@@ -144,6 +146,13 @@ func (p *policy) Step(rc *exec.RankCtx, t int) {
 			out := rc.ExecWith(gi, t, task.col, inputs)
 			for _, cons := range task.sendsTo {
 				rc.Send(gi, task.col, cons, out)
+			}
+			// Received buffers are dead once the task has executed;
+			// recycling them keeps the replayed schedule allocation-free.
+			for k, in := range task.inputs {
+				if in.remote {
+					rc.Recycle(gi, inputs[k])
+				}
 			}
 		}
 		rc.Flip(gi)

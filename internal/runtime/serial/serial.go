@@ -49,11 +49,14 @@ func runGraph(g *core.Graph, validate bool) error {
 		scratch[i] = kernels.NewScratch(g.ScratchBytes)
 	}
 	var inputs [][]byte
+	// Bind the method value once: creating it per task would allocate a
+	// closure on the steady-state path.
+	prev := rows.Prev
 	for t := 0; t < g.Timesteps; t++ {
 		off := g.OffsetAtTimestep(t)
 		w := g.WidthAtTimestep(t)
 		for i := off; i < off+w; i++ {
-			inputs = exec.GatherInputs(g, t, i, rows.Prev, inputs)
+			inputs = exec.GatherInputs(g, t, i, prev, inputs)
 			if err := g.ExecutePoint(t, i, rows.Cur(i), inputs, scratch[i], validate); err != nil {
 				return err
 			}

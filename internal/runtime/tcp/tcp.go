@@ -92,6 +92,9 @@ type transport struct {
 	// edges[graph][consumer][producer] receives demultiplexed
 	// payloads at the consumer's rank.
 	edges []map[int]map[int]chan []byte
+	// free[graph] recycles consumed payload buffers back to the
+	// demultiplexers, so steady-state frame reads stop allocating.
+	free []exec.PayloadPool
 	// errs records fatal transport errors from the demultiplexers.
 	errs exec.ErrOnce
 }
@@ -106,9 +109,11 @@ func newTransport(plan *exec.RankPlan) (*transport, error) {
 	// Edge queues, from the plan's shared cross-rank edge enumeration
 	// and the fabric's shared queue construction.
 	lists := make([][]exec.Edge, len(app.Graphs))
+	tr.free = make([]exec.PayloadPool, len(app.Graphs))
 	for gi, g := range app.Graphs {
 		tr.widths[gi] = g.MaxWidth
 		lists[gi] = plan.Edges(gi)
+		tr.free[gi] = exec.NewEdgePool(len(lists[gi]), edgeCap)
 	}
 	tr.edges = exec.EdgeQueues(lists, edgeCap)
 
@@ -185,7 +190,7 @@ func (tr *transport) demux(conn net.Conn) {
 		graph := int32(binary.LittleEndian.Uint32(header[4:8]))
 		producer := int32(binary.LittleEndian.Uint32(header[8:12]))
 		consumer := int32(binary.LittleEndian.Uint32(header[12:16]))
-		payload := make([]byte, length)
+		payload := tr.frameBuf(int(graph), int(length))
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			tr.errs.Set(fmt.Errorf("tcp: read payload: %w", err))
 			return
@@ -197,6 +202,27 @@ func (tr *transport) demux(conn net.Conn) {
 		}
 		ch <- payload
 	}
+}
+
+// frameBuf returns a payload buffer of the given length, drawn from
+// the graph's free list when a recycled buffer fits, so steady-state
+// demultiplexing is allocation-free after the first timesteps. The
+// graph index comes off the wire, so it is bounds-checked here (the
+// malformed-frame error surfaces later in the edge lookup).
+func (tr *transport) frameBuf(graph, length int) []byte {
+	if graph >= 0 && graph < len(tr.free) {
+		return tr.free[graph].Get(length)
+	}
+	return make([]byte, length)
+}
+
+// Recycle implements exec.Transport: consumed frame buffers return to
+// the graph's free list for reuse by the demultiplexers.
+func (tr *transport) Recycle(graph int, payload []byte) {
+	if graph < 0 || graph >= len(tr.free) {
+		return
+	}
+	tr.free[graph].Put(payload)
 }
 
 func (tr *transport) edge(graph, producer, consumer int) chan []byte {

@@ -6,6 +6,12 @@
 //
 //	go test -bench . -benchmem -benchtime 1x -run '^$' ./... | tee bench.txt
 //	benchjson -in bench.txt -out BENCH_$(git rev-parse --short HEAD).json
+//
+// The -diff mode turns two such reports into a regression table —
+// per-benchmark ns/op and allocs/op deltas, plus appearing/vanishing
+// benchmarks — so the CI artifact history reads as a perf trail:
+//
+//	benchjson -diff BENCH_old.json BENCH_new.json
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -63,8 +70,13 @@ func run(args []string) error {
 			}
 			out = args[i+1]
 			i++
+		case "-diff":
+			if i+2 >= len(args) {
+				return fmt.Errorf("-diff requires two report paths (old.json new.json)")
+			}
+			return diff(os.Stdout, args[i+1], args[i+2])
 		default:
-			return fmt.Errorf("unknown flag %q (usage: benchjson [-in bench.txt] [-out BENCH.json])", args[i])
+			return fmt.Errorf("unknown flag %q (usage: benchjson [-in bench.txt] [-out BENCH.json] | -diff old.json new.json)", args[i])
 		}
 	}
 
@@ -143,6 +155,85 @@ func parse(r io.Reader) (*Report, error) {
 		report.Benchmarks[trimProcs(fields[0])] = res
 	}
 	return report, sc.Err()
+}
+
+// diff prints a per-benchmark regression table between two reports:
+// ns/op delta (percent), allocs/op delta (absolute), and benchmarks
+// present in only one report. The exit status stays zero — the table
+// is a trail, not a gate; thresholds belong to whoever reads it.
+func diff(w io.Writer, oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := map[string]bool{}
+	for name := range oldRep.Benchmarks {
+		names[name] = true
+	}
+	for name := range newRep.Benchmarks {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(w, "%-44s %14s %14s %9s %14s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	for _, name := range sorted {
+		o, inOld := oldRep.Benchmarks[name]
+		n, inNew := newRep.Benchmarks[name]
+		switch {
+		case !inOld:
+			fmt.Fprintf(w, "%-44s %14s %14.1f %9s %14s\n", name, "-", n.NsPerOp, "new", allocDelta(nil, n.AllocsPerOp))
+		case !inNew:
+			fmt.Fprintf(w, "%-44s %14.1f %14s %9s %14s\n", name, o.NsPerOp, "-", "gone", allocDelta(o.AllocsPerOp, nil))
+		default:
+			delta := "n/a"
+			if o.NsPerOp > 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp)
+			}
+			fmt.Fprintf(w, "%-44s %14.1f %14.1f %9s %14s\n", name, o.NsPerOp, n.NsPerOp, delta, allocDelta(o.AllocsPerOp, n.AllocsPerOp))
+		}
+	}
+	return nil
+}
+
+// allocDelta renders the allocs/op transition of one benchmark;
+// reports without -benchmem have no allocation data.
+func allocDelta(o, n *float64) string {
+	switch {
+	case o == nil && n == nil:
+		return "-"
+	case o == nil:
+		return fmt.Sprintf("→ %.0f", *n)
+	case n == nil:
+		return fmt.Sprintf("%.0f →", *o)
+	case *o == *n:
+		return fmt.Sprintf("%.0f", *o)
+	default:
+		return fmt.Sprintf("%.0f → %.0f", *o, *n)
+	}
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &rep, nil
 }
 
 // trimProcs drops the trailing -GOMAXPROCS suffix go test appends to

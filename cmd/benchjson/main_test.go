@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLines(t *testing.T) {
+	in := strings.NewReader(`
+goos: linux
+BenchmarkPlanBuild-8         	     100	   1200.5 ns/op	     320 B/op	       4 allocs/op
+BenchmarkDepQuery            	 5000000	     25.0 ns/op	       0 B/op	       0 allocs/op	  12.5 tasks/s
+--- FAIL: BenchmarkBroken
+PASS
+`)
+	rep, err := parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	pb := rep.Benchmarks["BenchmarkPlanBuild"]
+	if pb.NsPerOp != 1200.5 || pb.BPerOp == nil || *pb.BPerOp != 320 || *pb.AllocsPerOp != 4 {
+		t.Errorf("PlanBuild parsed wrong: %+v", pb)
+	}
+	dq := rep.Benchmarks["BenchmarkDepQuery"]
+	if dq.Metrics["tasks/s"] != 12.5 {
+		t.Errorf("custom metric lost: %+v", dq)
+	}
+}
+
+func TestDiffReports(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep Report) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	f := func(v float64) *float64 { return &v }
+	oldPath := write("old.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkSame":   {NsPerOp: 100, AllocsPerOp: f(2)},
+		"BenchmarkFaster": {NsPerOp: 200, AllocsPerOp: f(8)},
+		"BenchmarkGone":   {NsPerOp: 50},
+	}})
+	newPath := write("new.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkSame":   {NsPerOp: 100, AllocsPerOp: f(2)},
+		"BenchmarkFaster": {NsPerOp: 150, AllocsPerOp: f(0)},
+		"BenchmarkNew":    {NsPerOp: 75},
+	}})
+
+	var out strings.Builder
+	if err := diff(&out, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BenchmarkFaster", "-25.0%", "8 → 0",
+		"BenchmarkSame", "+0.0%",
+		"BenchmarkGone", "gone",
+		"BenchmarkNew", "new",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDiffRejectsEmptyReport(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"benchmarks":{}}`), 0o644)
+	if err := diff(os.Stdout, empty, empty); err == nil {
+		t.Error("diff accepted an empty report")
+	}
+}

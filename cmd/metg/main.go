@@ -1,8 +1,10 @@
 // Command metg measures minimum effective task granularity (paper §4)
-// either for a real runtime backend on this host or for a simulated
-// system profile on a simulated cluster:
+// for a real runtime backend on this host, for a live multi-process
+// cluster fleet, or for a simulated system profile on a simulated
+// cluster:
 //
 //	metg -backend p2p                         # real, this host
+//	metg -cluster host:7580 -nodes 6          # real, a taskbenchd fleet
 //	metg -profile "mpi p2p" -nodes 64         # simulated Cori
 //
 // It prints the efficiency-vs-granularity curve (the data behind
@@ -17,12 +19,14 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"taskbench/internal/cluster"
 	"taskbench/internal/core"
 	"taskbench/internal/kernels"
 	"taskbench/internal/metg"
 	"taskbench/internal/runtime"
 	_ "taskbench/internal/runtime/all"
 	"taskbench/internal/sim"
+	"taskbench/internal/wire"
 )
 
 // main delegates to run so that deferred profile writers flush before
@@ -34,8 +38,9 @@ func main() {
 func run() (code int) {
 	var (
 		backend    = flag.String("backend", "", "real runtime backend to measure")
+		clusterAt  = flag.String("cluster", "", "coordinator address of a live taskbenchd fleet to measure")
 		profile    = flag.String("profile", "", "simulator profile to measure (e.g. \"mpi p2p\")")
-		nodes      = flag.Int("nodes", 1, "simulated node count (with -profile)")
+		nodes      = flag.Int("nodes", 1, "simulated node count (with -profile); total rank count (with -cluster, <=1 = one rank per worker)")
 		steps      = flag.Int("steps", 20, "graph height")
 		width      = flag.Int("width", 0, "graph width (0 = one column per worker / core)")
 		pattern    = flag.String("type", "stencil_1d", "dependence pattern")
@@ -48,8 +53,14 @@ func run() (code int) {
 	)
 	flag.Parse()
 
-	if (*backend == "") == (*profile == "") {
-		fmt.Fprintln(os.Stderr, "metg: specify exactly one of -backend or -profile")
+	modes := 0
+	for _, set := range []bool{*backend != "", *clusterAt != "", *profile != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "metg: specify exactly one of -backend, -cluster or -profile")
 		fmt.Fprintln(os.Stderr, "backends:", runtime.Names())
 		return 2
 	}
@@ -118,6 +129,61 @@ func run() (code int) {
 			}
 			return st
 		}
+		cal := kernels.Calibrate()
+		peak = cal.FlopsPerSecondPerCore * float64(runner(1).Workers)
+		if top == 0 {
+			top = 1 << 16
+		}
+	} else if *clusterAt != "" {
+		cli, err := cluster.Dial(*clusterAt)
+		if err != nil {
+			return fatal(err)
+		}
+		defer cli.Close()
+		// In cluster mode -nodes is the total rank count across the
+		// fleet. Only an *unset* -nodes defers to the coordinator's
+		// default of one rank per registered worker — an explicit
+		// `-nodes 1` means a genuine 1-rank measurement.
+		ranks, nodesSet := 0, false
+		flag.Visit(func(f *flag.Flag) { nodesSet = nodesSet || f.Name == "nodes" })
+		if nodesSet {
+			if *nodes < 1 {
+				fmt.Fprintln(os.Stderr, "metg: -nodes must be at least 1")
+				return 2
+			}
+			ranks = *nodes
+		}
+		w := *width
+		if w == 0 {
+			if ranks == 0 {
+				// The fleet size (and so the defaulted rank count) is
+				// unknown client-side; a fixed default width would
+				// strand ranks on larger fleets and silently cap
+				// measurable efficiency below the threshold.
+				fmt.Fprintln(os.Stderr, "metg: -cluster needs -nodes (total ranks) or an explicit -width")
+				return 2
+			}
+			w = 4 * ranks
+		}
+		// Every point of the sweep shares one graph shape, so the
+		// coordinator reuses a single prepared configuration (plans,
+		// payload rows, live mesh) and only the kernel size travels.
+		runner = func(iterations int64) core.RunStats {
+			st, err := cli.Run(wire.AppSpec{
+				Workers: ranks,
+				Graphs: []wire.GraphSpec{{
+					Steps: *steps, Width: w, Type: dep.String(), Radix: *radix,
+					Kernel: kernels.ComputeBound.String(), Iterations: iterations,
+				}},
+			})
+			if err != nil {
+				die(err)
+			}
+			return st
+		}
+		// Peak is calibrated locally and scaled by the fleet's rank
+		// count — exact when the fleet shares this host's core type,
+		// an approximation otherwise (as with any cross-machine peak).
 		cal := kernels.Calibrate()
 		peak = cal.FlopsPerSecondPerCore * float64(runner(1).Workers)
 		if top == 0 {

@@ -1,0 +1,112 @@
+// Command taskbenchd runs the cluster-mode daemons: a coordinator that
+// accepts benchmark jobs and fans them out over a fleet, and workers
+// that host rank spans of distributed runs in their own processes.
+//
+//	taskbenchd coordinator -listen 0.0.0.0:7580
+//	taskbenchd worker -coordinator host:7580 -name node1 [-advertise 10.0.0.5]
+//
+// Clients submit wire.AppSpec jobs to the coordinator — interactively
+// with `metg -cluster host:7580`, or programmatically through
+// internal/cluster.Client. Jobs with the same graph shape share one
+// prepared configuration (plans, payload rows, live TCP mesh) across
+// requests, so sweeps pay mesh establishment once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"taskbench/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "coordinator":
+		err = runCoordinator(os.Args[2:])
+	case "worker":
+		err = runWorker(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "taskbenchd: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("taskbenchd: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  taskbenchd coordinator [-listen addr] [-heartbeat d] [-timeout d] [-job-timeout d]
+  taskbenchd worker -coordinator addr [-name s] [-advertise host]`)
+}
+
+func runCoordinator(args []string) error {
+	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7580", "control address to listen on")
+	heartbeat := fs.Duration("heartbeat", time.Second, "worker heartbeat interval")
+	timeout := fs.Duration("timeout", 5*time.Second, "heartbeat timeout declaring a worker dead")
+	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job run timeout")
+	fs.Parse(args)
+
+	coord, err := cluster.Start(cluster.Options{
+		Listen:            *listen,
+		HeartbeatInterval: *heartbeat,
+		HeartbeatTimeout:  *timeout,
+		JobTimeout:        *jobTimeout,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	log.Printf("taskbenchd: coordinator on %s; submit jobs with `metg -cluster %s`", coord.Addr(), coord.Addr())
+	waitForSignal()
+	return nil
+}
+
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	coordinator := fs.String("coordinator", "127.0.0.1:7580", "coordinator control address")
+	name := fs.String("name", "", "worker name in coordinator logs (default hostname)")
+	advertise := fs.String("advertise", "127.0.0.1", "host peers dial for rank data connections")
+	fs.Parse(args)
+
+	if *name == "" {
+		if host, err := os.Hostname(); err == nil {
+			*name = host
+		}
+	}
+	w := cluster.NewWorker(cluster.WorkerOptions{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Advertise:   *advertise,
+		Logf:        log.Printf,
+	})
+	go func() {
+		waitForSignal()
+		w.Close()
+	}()
+	return w.Run()
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	log.Printf("taskbenchd: shutting down")
+}

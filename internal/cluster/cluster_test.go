@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"taskbench/internal/wire"
+)
+
+// testFleet starts a coordinator and n in-process workers (each its
+// own control connection and data listeners — only the address space
+// is shared) and waits until all have registered.
+func testFleet(t *testing.T, n int) (*Coordinator, []*Worker) {
+	t.Helper()
+	coord, err := Start(Options{
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  500 * time.Millisecond,
+		SetupTimeout:      20 * time.Second,
+		JobTimeout:        60 * time.Second,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	workers := make([]*Worker, n)
+	for k := range workers {
+		workers[k] = NewWorker(WorkerOptions{
+			Coordinator: coord.Addr(),
+			Name:        "w" + string(rune('A'+k)),
+			Logf:        t.Logf,
+		})
+		go workers[k].Run()
+		t.Cleanup(workers[k].Close)
+	}
+	if _, err := coord.WaitWorkers(n, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return coord, workers
+}
+
+func stencilSpec(ranks int, iterations int64) wire.AppSpec {
+	return wire.AppSpec{
+		Workers: ranks,
+		Graphs: []wire.GraphSpec{{
+			Steps: 20, Width: 6, Type: "stencil_1d_periodic",
+			Kernel: "compute_bound", Iterations: iterations,
+			Output: 128,
+		}},
+	}
+}
+
+func TestClusterRunsValidatedJob(t *testing.T) {
+	coord, _ := testFleet(t, 3)
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	stats, err := cli.Run(stencilSpec(6, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 6 {
+		t.Errorf("workers = %d, want 6", stats.Workers)
+	}
+	if stats.Elapsed <= 0 {
+		t.Errorf("elapsed = %v, want > 0", stats.Elapsed)
+	}
+	if stats.Tasks != 120 {
+		t.Errorf("tasks = %d, want 120", stats.Tasks)
+	}
+}
+
+// TestClusterReusesConfigAcrossJobs is the cross-request session-reuse
+// story: jobs that differ only in kernel configuration share one
+// prepared configuration (plans, rows, live mesh).
+func TestClusterReusesConfigAcrossJobs(t *testing.T) {
+	coord, _ := testFleet(t, 3)
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	for _, iters := range []int64{256, 64, 16, 4} {
+		if _, err := cli.Run(stencilSpec(6, iters)); err != nil {
+			t.Fatalf("iters=%d: %v", iters, err)
+		}
+	}
+	// A different shape provisions a second configuration.
+	other := stencilSpec(6, 64)
+	other.Graphs[0].Type = "fft"
+	other.Graphs[0].Width = 8
+	if _, err := cli.Run(other); err != nil {
+		t.Fatal(err)
+	}
+	st := coord.Stats()
+	if st.ConfigsBuilt != 2 {
+		t.Errorf("configs built = %d, want 2", st.ConfigsBuilt)
+	}
+	if st.ConfigsReused != 3 {
+		t.Errorf("configs reused = %d, want 3", st.ConfigsReused)
+	}
+	if st.JobsRun != 5 || st.JobsFailed != 0 {
+		t.Errorf("jobs run/failed = %d/%d, want 5/0", st.JobsRun, st.JobsFailed)
+	}
+}
+
+// TestClusterConcurrentClients queues submissions from several client
+// connections at once; the scheduler serializes them without loss.
+func TestClusterConcurrentClients(t *testing.T) {
+	coord, _ := testFleet(t, 2)
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			cli, err := Dial(coord.Addr())
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			defer cli.Close()
+			_, err = cli.Run(stencilSpec(4, int64(16*(k+1))))
+			errs[k] = err
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", k, err)
+		}
+	}
+	if st := coord.Stats(); st.JobsRun != clients {
+		t.Errorf("jobs run = %d, want %d", st.JobsRun, clients)
+	}
+}
+
+// TestClusterWorkerDeathFailsJobCleanly kills a worker mid-run and
+// requires (a) the in-flight job to fail with an error, not hang, and
+// (b) the queue to keep serving jobs on the surviving fleet.
+func TestClusterWorkerDeathFailsJobCleanly(t *testing.T) {
+	coord, workers := testFleet(t, 3)
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// A deliberately long job: 6 ranks × 2000 steps of 1ms busy-wait
+	// columns gives seconds of runtime to kill a worker in.
+	long := wire.AppSpec{
+		Workers: 6,
+		Graphs: []wire.GraphSpec{{
+			Steps: 2000, Width: 6, Type: "stencil_1d_periodic",
+			Kernel: "busy_wait", WaitNanos: int64(time.Millisecond),
+			Output: 64,
+		}},
+	}
+	type outcome struct {
+		res JobResult
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		res, err := cli.Submit(long)
+		resCh <- outcome{res, err}
+	}()
+	time.Sleep(400 * time.Millisecond)
+	workers[1].Close() // the "crash": control conn drops, sessions abort
+
+	select {
+	case out := <-resCh:
+		if out.err != nil {
+			t.Fatalf("protocol error instead of job error: %v", out.err)
+		}
+		if out.res.Err == nil {
+			t.Fatal("job succeeded despite killed worker")
+		}
+		t.Logf("job failed as expected: %v", out.res.Err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("job hung after worker death")
+	}
+
+	// The queue must not be wedged: the next job provisions a fresh
+	// configuration over the two survivors.
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.WorkerCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet size = %d, want 2", coord.WorkerCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stats, err := cli.Run(stencilSpec(4, 32))
+	if err != nil {
+		t.Fatalf("post-death job: %v", err)
+	}
+	if stats.Workers != 4 {
+		t.Errorf("post-death workers = %d, want 4", stats.Workers)
+	}
+	if st := coord.Stats(); st.JobsFailed != 1 {
+		t.Errorf("jobs failed = %d, want 1", st.JobsFailed)
+	}
+}
+
+// TestClusterRejectsBadSpec exercises coordinator-side validation.
+func TestClusterRejectsBadSpec(t *testing.T) {
+	coord, _ := testFleet(t, 1)
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, err := cli.Submit(wire.AppSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "spec") {
+		t.Fatalf("bad spec accepted: %v", res.Err)
+	}
+}
+
+// TestCoordinatorCloseWithIdleClient must not hang on Close while a
+// client connection is open but idle (its handler is blocked in a
+// read; Close has to sweep client connections too).
+func TestCoordinatorCloseWithIdleClient(t *testing.T) {
+	coord, err := Start(Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Give the accept loop a moment to hand the connection to a
+	// handler, which then blocks reading the first message.
+	time.Sleep(50 * time.Millisecond)
+	closed := make(chan struct{})
+	go func() {
+		coord.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator Close hung on an idle client connection")
+	}
+}
+
+// TestClusterNoWorkers fails jobs instead of waiting forever when the
+// fleet is empty.
+func TestClusterNoWorkers(t *testing.T) {
+	coord, err := Start(Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, err := cli.Submit(stencilSpec(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "no workers") {
+		t.Fatalf("want no-workers error, got %v", res.Err)
+	}
+}

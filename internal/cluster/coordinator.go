@@ -1,0 +1,667 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"taskbench/internal/runtime/exec"
+	"taskbench/internal/wire"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Listen is the control address; default "127.0.0.1:0".
+	Listen string
+	// HeartbeatInterval is how often workers must heartbeat; default 1s.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout declares a silent worker dead; default 5×interval.
+	HeartbeatTimeout time.Duration
+	// SetupTimeout bounds configuration provisioning (plan build plus
+	// mesh establishment) per worker; default 60s.
+	SetupTimeout time.Duration
+	// JobTimeout bounds one run; default 10m. It is the last-resort
+	// no-hang guarantee behind the heartbeat machinery.
+	JobTimeout time.Duration
+	// QueueDepth is the job queue capacity; default 64. Submissions
+	// beyond it block the submitting client, not the coordinator.
+	QueueDepth int
+	// Logf, when set, receives coordinator lifecycle logging.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.Listen == "" {
+		o.Listen = "127.0.0.1:0"
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 5 * o.HeartbeatInterval
+	}
+	if o.SetupTimeout <= 0 {
+		o.SetupTimeout = 60 * time.Second
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 10 * time.Minute
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Stats counts coordinator activity, for monitoring and tests.
+type Stats struct {
+	// Workers is the current live fleet size.
+	Workers int
+	// ConfigsBuilt counts configurations provisioned across the fleet.
+	ConfigsBuilt int
+	// ConfigsReused counts jobs that ran on an already-prepared
+	// configuration (the cross-request session-reuse win).
+	ConfigsReused int
+	// JobsRun counts completed jobs, successful or not.
+	JobsRun int
+	// JobsFailed counts jobs that completed with an error.
+	JobsFailed int
+}
+
+// Coordinator accepts worker registrations and client job submissions
+// on one control port and drives distributed runs across the fleet.
+type Coordinator struct {
+	opts Options
+	ln   net.Listener
+
+	mu         sync.Mutex
+	workers    map[int64]*workerConn
+	configs    map[string]*clusterConfig
+	conns      map[*msgConn]struct{} // every open control connection (workers and clients)
+	stats      Stats
+	nextWorker int64
+	nextConfig uint64
+	nextJob    uint64
+
+	queue chan *job
+	done  chan struct{}
+	stop  sync.Once
+	wg    sync.WaitGroup
+}
+
+// workerConn is the coordinator's view of one registered worker.
+type workerConn struct {
+	id       int64
+	name     string
+	mc       *msgConn
+	lastSeen atomic.Int64 // unix nanos
+
+	dead     chan struct{}
+	deadOnce sync.Once
+
+	mu      sync.Mutex
+	waiters map[string]chan wire.Message
+}
+
+// clusterConfig is one provisioned configuration: a shape of job
+// prepared across a fixed set of workers, with a live mesh between
+// them.
+type clusterConfig struct {
+	id      uint64
+	key     string
+	ranks   int
+	members []*workerConn
+	spans   []exec.Span
+}
+
+// job is one queued client submission.
+type job struct {
+	id    uint64
+	spec  wire.AppSpec
+	reply chan wire.Message
+}
+
+// Start launches a coordinator listening on opts.Listen.
+func Start(opts Options) (*Coordinator, error) {
+	opts.fill()
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", opts.Listen, err)
+	}
+	c := &Coordinator{
+		opts:    opts,
+		ln:      ln,
+		workers: map[int64]*workerConn{},
+		configs: map[string]*clusterConfig{},
+		conns:   map[*msgConn]struct{}{},
+		queue:   make(chan *job, opts.QueueDepth),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(3)
+	go c.acceptLoop()
+	go c.schedule()
+	go c.monitorHeartbeats()
+	opts.Logf("cluster: coordinator listening on %s", ln.Addr())
+	return c, nil
+}
+
+// Addr returns the control address the coordinator is listening on.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Stats returns a snapshot of the coordinator's counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Workers = len(c.workers)
+	return s
+}
+
+// WorkerCount returns the current live fleet size.
+func (c *Coordinator) WorkerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// WaitWorkers blocks until at least n workers are registered, the
+// timeout passes, or the coordinator closes. It returns the fleet size
+// observed last, and an error if that is still below n.
+func (c *Coordinator) WaitWorkers(n int, timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		got := c.WorkerCount()
+		if got >= n {
+			return got, nil
+		}
+		select {
+		case <-c.done:
+			return got, fmt.Errorf("cluster: coordinator closed with %d of %d workers", got, n)
+		case <-time.After(10 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			return c.WorkerCount(), fmt.Errorf("cluster: %d of %d workers registered after %v", c.WorkerCount(), n, timeout)
+		}
+	}
+}
+
+// Close shuts the coordinator down: the listener closes, queued jobs
+// fail, and every control connection — workers and clients alike —
+// drops, so the connection handlers (and with them wg.Wait) cannot
+// stay blocked in reads on idle client connections.
+func (c *Coordinator) Close() {
+	c.stop.Do(func() {
+		close(c.done)
+		c.ln.Close()
+		c.mu.Lock()
+		for mc := range c.conns {
+			mc.close()
+		}
+		c.mu.Unlock()
+	})
+	c.wg.Wait()
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		mc := newMsgConn(conn)
+		c.mu.Lock()
+		select {
+		case <-c.done:
+			// Raced with Close after it swept the registry; this
+			// connection must not escape the sweep.
+			c.mu.Unlock()
+			mc.close()
+			continue
+		default:
+		}
+		c.conns[mc] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer func() {
+				c.mu.Lock()
+				delete(c.conns, mc)
+				c.mu.Unlock()
+				mc.close()
+			}()
+			c.handleConn(mc)
+		}()
+	}
+}
+
+// handleConn reads the first message of a fresh connection to decide
+// whether its peer is a worker (register) or a client (submit).
+func (c *Coordinator) handleConn(mc *msgConn) {
+	m, err := mc.read()
+	if err != nil {
+		mc.close()
+		return
+	}
+	switch m.Type {
+	case wire.MsgRegister:
+		c.serveWorker(mc, m)
+	case wire.MsgSubmit:
+		c.serveClient(mc, m)
+	default:
+		c.opts.Logf("cluster: %s opened with unexpected %q", mc.remoteAddr(), m.Type)
+		mc.close()
+	}
+}
+
+// --- worker side ---------------------------------------------------
+
+func (c *Coordinator) serveWorker(mc *msgConn, reg wire.Message) {
+	w := &workerConn{
+		name:    reg.Name,
+		mc:      mc,
+		dead:    make(chan struct{}),
+		waiters: map[string]chan wire.Message{},
+	}
+	w.lastSeen.Store(time.Now().UnixNano())
+
+	c.mu.Lock()
+	c.nextWorker++
+	w.id = c.nextWorker
+	if w.name == "" {
+		w.name = fmt.Sprintf("worker-%d", w.id)
+	}
+	c.workers[w.id] = w
+	c.mu.Unlock()
+
+	if err := mc.write(wire.Message{
+		Type:           wire.MsgWelcome,
+		Worker:         w.id,
+		HeartbeatNanos: int64(c.opts.HeartbeatInterval),
+	}); err != nil {
+		c.markDead(w, fmt.Errorf("welcome: %w", err))
+		return
+	}
+	c.opts.Logf("cluster: worker %q registered from %s", w.name, mc.remoteAddr())
+
+	for {
+		m, err := mc.read()
+		if err != nil {
+			c.markDead(w, fmt.Errorf("control connection: %w", err))
+			return
+		}
+		w.lastSeen.Store(time.Now().UnixNano())
+		switch m.Type {
+		case wire.MsgHeartbeat:
+			// lastSeen update above is the whole point.
+		case wire.MsgPrepared:
+			w.route(fmt.Sprintf("prepared/%d", m.Config), m)
+		case wire.MsgReady:
+			w.route(fmt.Sprintf("ready/%d", m.Config), m)
+		case wire.MsgResult:
+			w.route(fmt.Sprintf("result/%d", m.Job), m)
+		default:
+			c.opts.Logf("cluster: worker %q sent unexpected %q", w.name, m.Type)
+		}
+	}
+}
+
+// markDead declares a worker dead exactly once: it leaves the fleet,
+// every configuration it participated in is dropped (surviving members
+// are told to release, which aborts any wedged run), and any await on
+// it fails immediately.
+func (c *Coordinator) markDead(w *workerConn, cause error) {
+	w.deadOnce.Do(func() {
+		close(w.dead)
+		w.mc.close()
+
+		c.mu.Lock()
+		delete(c.workers, w.id)
+		var torn []*clusterConfig
+		for key, cfg := range c.configs {
+			for _, member := range cfg.members {
+				if member == w {
+					delete(c.configs, key)
+					torn = append(torn, cfg)
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+
+		c.opts.Logf("cluster: worker %q dead (%v); dropped %d configs", w.name, cause, len(torn))
+		for _, cfg := range torn {
+			c.releaseConfig(cfg, w)
+		}
+	})
+}
+
+// releaseConfig tells every member except skip to drop a
+// configuration. Best-effort: members may themselves be dying.
+func (c *Coordinator) releaseConfig(cfg *clusterConfig, skip *workerConn) {
+	for _, member := range cfg.members {
+		if member == skip {
+			continue
+		}
+		member.mc.write(wire.Message{Type: wire.MsgRelease, Config: cfg.id})
+	}
+}
+
+// monitorHeartbeats declares silent workers dead. Control-connection
+// errors catch a killed process faster; the heartbeat timeout catches
+// stalls and partitions where the connection stays open.
+func (c *Coordinator) monitorHeartbeats() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-c.opts.HeartbeatTimeout).UnixNano()
+		c.mu.Lock()
+		var stale []*workerConn
+		for _, w := range c.workers {
+			if w.lastSeen.Load() < cutoff {
+				stale = append(stale, w)
+			}
+		}
+		c.mu.Unlock()
+		for _, w := range stale {
+			c.markDead(w, fmt.Errorf("heartbeat timeout (%v)", c.opts.HeartbeatTimeout))
+		}
+	}
+}
+
+// call registers interest in replyKey, sends m, and waits for the
+// reply — failing fast if the worker dies or the timeout passes. A
+// reply whose Err field is set is returned as an error.
+func (w *workerConn) call(m wire.Message, replyKey string, timeout time.Duration) (wire.Message, error) {
+	ch := make(chan wire.Message, 1)
+	w.mu.Lock()
+	w.waiters[replyKey] = ch
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.waiters, replyKey)
+		w.mu.Unlock()
+	}()
+
+	if err := w.mc.write(m); err != nil {
+		return wire.Message{}, fmt.Errorf("worker %q: write %s: %w", w.name, m.Type, err)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case reply := <-ch:
+		if reply.Err != "" {
+			return reply, fmt.Errorf("worker %q: %s", w.name, reply.Err)
+		}
+		return reply, nil
+	case <-w.dead:
+		return wire.Message{}, fmt.Errorf("worker %q died", w.name)
+	case <-timer.C:
+		return wire.Message{}, fmt.Errorf("worker %q: timed out waiting for %s", w.name, replyKey)
+	}
+}
+
+func (w *workerConn) route(key string, m wire.Message) {
+	w.mu.Lock()
+	ch := w.waiters[key]
+	w.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- m:
+		default:
+		}
+	}
+}
+
+// --- client side ---------------------------------------------------
+
+// serveClient streams one connection's jobs through the queue: each
+// submit is answered with accepted (job id, while the job queues) and
+// then done (result), so the client sees progress before completion.
+func (c *Coordinator) serveClient(mc *msgConn, first wire.Message) {
+	defer mc.close()
+	m := first
+	for {
+		if m.Type != wire.MsgSubmit {
+			return
+		}
+		done := c.submit(mc, m)
+		if mc.write(done) != nil {
+			return
+		}
+		var err error
+		if m, err = mc.read(); err != nil {
+			return
+		}
+	}
+}
+
+// submit validates, acknowledges, queues and runs one job, returning
+// its done message.
+func (c *Coordinator) submit(mc *msgConn, m wire.Message) wire.Message {
+	fail := func(id uint64, format string, args ...any) wire.Message {
+		return wire.Message{Type: wire.MsgDone, Job: id, Err: fmt.Sprintf(format, args...)}
+	}
+	c.mu.Lock()
+	c.nextJob++
+	id := c.nextJob
+	c.mu.Unlock()
+
+	if m.Spec == nil {
+		return fail(id, "submit without spec")
+	}
+	if _, err := m.Spec.ToApp(); err != nil {
+		return fail(id, "invalid spec: %v", err)
+	}
+	j := &job{id: id, spec: *m.Spec, reply: make(chan wire.Message, 1)}
+	select {
+	case c.queue <- j:
+	case <-c.done:
+		return fail(id, "coordinator shutting down")
+	}
+	mc.write(wire.Message{Type: wire.MsgAccepted, Job: id})
+	select {
+	case done := <-j.reply:
+		return done
+	case <-c.done:
+		return fail(id, "coordinator shutting down")
+	}
+}
+
+// schedule is the job loop: one run at a time across the fleet, with
+// configuration reuse between jobs of the same shape.
+func (c *Coordinator) schedule() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case j := <-c.queue:
+			done := c.runJob(j)
+			c.mu.Lock()
+			c.stats.JobsRun++
+			if done.Err != "" {
+				c.stats.JobsFailed++
+			}
+			c.mu.Unlock()
+			j.reply <- done
+		}
+	}
+}
+
+func (c *Coordinator) runJob(j *job) wire.Message {
+	fail := func(format string, args ...any) wire.Message {
+		return wire.Message{Type: wire.MsgDone, Job: j.id, Err: fmt.Sprintf(format, args...)}
+	}
+
+	key := wire.ShapeKey(j.spec)
+	c.mu.Lock()
+	cfg := c.configs[key]
+	c.mu.Unlock()
+
+	if cfg == nil {
+		var err error
+		cfg, err = c.buildConfig(key, j.spec)
+		if err != nil {
+			return fail("provision: %v", err)
+		}
+		c.mu.Lock()
+		c.configs[key] = cfg
+		c.stats.ConfigsBuilt++
+		c.mu.Unlock()
+	} else {
+		c.mu.Lock()
+		c.stats.ConfigsReused++
+		c.mu.Unlock()
+	}
+
+	// Run the job on every member and take the slowest worker's wall
+	// time as the job's elapsed time.
+	kernels := wire.KernelsOf(j.spec)
+	results := make([]wire.Message, len(cfg.members))
+	err := fanout(cfg.members, func(k int, w *workerConn) error {
+		reply, err := w.call(wire.Message{
+			Type:    wire.MsgRun,
+			Config:  cfg.id,
+			Job:     j.id,
+			Kernels: kernels,
+		}, fmt.Sprintf("result/%d", j.id), c.opts.JobTimeout)
+		results[k] = reply
+		return err
+	})
+	if err != nil {
+		// The configuration's mesh may be mid-abort; drop it so the
+		// next job of this shape provisions a fresh one over the
+		// current fleet.
+		c.dropConfig(cfg)
+		return fail("run: %v", err)
+	}
+	var elapsed int64
+	for _, r := range results {
+		if r.ElapsedNanos > elapsed {
+			elapsed = r.ElapsedNanos
+		}
+	}
+	return wire.Message{
+		Type:         wire.MsgDone,
+		Job:          j.id,
+		ElapsedNanos: elapsed,
+		Workers:      cfg.ranks,
+	}
+}
+
+// buildConfig provisions a new configuration over the live fleet:
+// assign rank spans, prepare every member (plan slice + data
+// listener), then distribute the rank→address table and wait for the
+// mesh to come up.
+func (c *Coordinator) buildConfig(key string, spec wire.AppSpec) (*clusterConfig, error) {
+	c.mu.Lock()
+	fleet := make([]*workerConn, 0, len(c.workers))
+	for _, w := range c.workers {
+		fleet = append(fleet, w)
+	}
+	c.nextConfig++
+	id := c.nextConfig
+	c.mu.Unlock()
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("no workers registered")
+	}
+	sort.Slice(fleet, func(a, b int) bool { return fleet[a].id < fleet[b].id })
+
+	ranks := spec.Workers
+	if ranks <= 0 {
+		ranks = len(fleet)
+	}
+	spans := exec.BlockAssign(ranks, len(fleet))
+	cfg := &clusterConfig{id: id, key: key, ranks: ranks}
+	for k, w := range fleet {
+		if spans[k].Len() == 0 {
+			continue // more workers than ranks: the excess idles
+		}
+		cfg.members = append(cfg.members, w)
+		cfg.spans = append(cfg.spans, spans[k])
+	}
+
+	// Prepare: every member builds its local plan slice and binds its
+	// data listener, replying with the address.
+	addrs := make([]string, ranks)
+	err := fanout(cfg.members, func(k int, w *workerConn) error {
+		spec := spec
+		reply, err := w.call(wire.Message{
+			Type:   wire.MsgPrepare,
+			Config: id,
+			Spec:   &spec,
+			Ranks:  ranks,
+			RankLo: cfg.spans[k].Lo,
+			RankHi: cfg.spans[k].Hi,
+		}, fmt.Sprintf("prepared/%d", id), c.opts.SetupTimeout)
+		if err != nil {
+			return err
+		}
+		for r := cfg.spans[k].Lo; r < cfg.spans[k].Hi; r++ {
+			addrs[r] = reply.Addr
+		}
+		return nil
+	})
+	if err != nil {
+		c.releaseConfig(cfg, nil)
+		return nil, err
+	}
+
+	// Connect: all members wire the mesh concurrently — each one's
+	// dials complete against the others' already-bound listeners.
+	err = fanout(cfg.members, func(k int, w *workerConn) error {
+		_, err := w.call(wire.Message{
+			Type:   wire.MsgConnect,
+			Config: id,
+			Addrs:  addrs,
+		}, fmt.Sprintf("ready/%d", id), c.opts.SetupTimeout)
+		return err
+	})
+	if err != nil {
+		c.releaseConfig(cfg, nil)
+		return nil, err
+	}
+	c.opts.Logf("cluster: config %d ready: %d ranks over %d workers", id, ranks, len(cfg.members))
+	return cfg, nil
+}
+
+// dropConfig removes a configuration and releases it on its members.
+func (c *Coordinator) dropConfig(cfg *clusterConfig) {
+	c.mu.Lock()
+	if c.configs[cfg.key] == cfg {
+		delete(c.configs, cfg.key)
+	}
+	c.mu.Unlock()
+	c.releaseConfig(cfg, nil)
+}
+
+// fanout runs f concurrently over the members and returns on the
+// *first* error — callers immediately release the configuration, which
+// aborts the surviving members' in-flight work, so failure latency is
+// one member's detection time rather than the slowest member's
+// timeout. Stragglers drain into the buffered channel (no goroutine
+// leaks); a nil return means every member completed.
+func fanout(members []*workerConn, f func(k int, w *workerConn) error) error {
+	errCh := make(chan error, len(members))
+	for k, w := range members {
+		go func(k int, w *workerConn) { errCh <- f(k, w) }(k, w)
+	}
+	for range members {
+		if err := <-errCh; err != nil {
+			return err
+		}
+	}
+	return nil
+}

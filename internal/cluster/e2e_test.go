@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"taskbench/internal/wire"
+)
+
+// TestClusterWorkerHelper is not a test: it is the worker process body
+// of the multi-process end-to-end test, entered when the test binary
+// re-invokes itself with TASKBENCH_CLUSTER_COORD set. It serves until
+// the coordinator (the parent test process) goes away.
+func TestClusterWorkerHelper(t *testing.T) {
+	coord := os.Getenv("TASKBENCH_CLUSTER_COORD")
+	if coord == "" {
+		t.Skip("helper process entry point; set TASKBENCH_CLUSTER_COORD to use")
+	}
+	w := NewWorker(WorkerOptions{
+		Coordinator: coord,
+		Name:        os.Getenv("TASKBENCH_CLUSTER_NAME"),
+	})
+	// The helper's exit status is irrelevant — the parent kills it or
+	// closes the coordinator; either ends Run.
+	_ = w.Run()
+}
+
+// spawnWorkerProcess re-invokes the test binary as a worker process.
+func spawnWorkerProcess(t *testing.T, coordAddr, name string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestClusterWorkerHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"TASKBENCH_CLUSTER_COORD="+coordAddr,
+		"TASKBENCH_CLUSTER_NAME="+name,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn worker %s: %v", name, err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		cmd.Wait()
+	})
+	return cmd
+}
+
+// TestClusterEndToEndMultiProcess is the acceptance test of cluster
+// mode: one coordinator (this process) and three worker processes
+// (os/exec re-invocations of the test binary), ranks spanning the
+// processes via the tcp mesh. It asserts (a) a stencil run validates
+// across process boundaries, (b) configurations are reused between
+// jobs, and (c) killing a worker process mid-run produces a job error
+// — not a hang — after which the queue keeps serving on the survivors.
+func TestClusterEndToEndMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	coord, err := Start(Options{
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+		SetupTimeout:      30 * time.Second,
+		JobTimeout:        60 * time.Second,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	procs := make([]*exec.Cmd, 3)
+	for k, name := range []string{"proc-a", "proc-b", "proc-c"} {
+		procs[k] = spawnWorkerProcess(t, coord.Addr(), name)
+	}
+	if _, err := coord.WaitWorkers(3, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// (a) A validated stencil run with ranks spanning three processes.
+	// Validation happens at every consumer, so success proves every
+	// cross-process payload arrived intact at the right task.
+	stats, err := cli.Run(stencilSpec(6, 128))
+	if err != nil {
+		t.Fatalf("multi-process stencil run: %v", err)
+	}
+	if stats.Workers != 6 {
+		t.Errorf("workers = %d, want 6", stats.Workers)
+	}
+	if stats.Tasks != 120 {
+		t.Errorf("tasks = %d, want 120", stats.Tasks)
+	}
+
+	// (b) Same shape, different kernel: the prepared mesh is reused.
+	if _, err := cli.Run(stencilSpec(6, 32)); err != nil {
+		t.Fatalf("reused-config run: %v", err)
+	}
+	if st := coord.Stats(); st.ConfigsBuilt != 1 || st.ConfigsReused != 1 {
+		t.Errorf("configs built/reused = %d/%d, want 1/1", st.ConfigsBuilt, st.ConfigsReused)
+	}
+
+	// (c) SIGKILL a worker process mid-run: the job must fail cleanly.
+	long := wire.AppSpec{
+		Workers: 6,
+		Graphs: []wire.GraphSpec{{
+			Steps: 20000, Width: 6, Type: "stencil_1d_periodic",
+			Kernel: "busy_wait", WaitNanos: int64(time.Millisecond),
+			Output: 64,
+		}},
+	}
+	type outcome struct {
+		res JobResult
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		res, err := cli.Submit(long)
+		resCh <- outcome{res, err}
+	}()
+	time.Sleep(500 * time.Millisecond)
+	if err := procs[1].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-resCh:
+		if out.err != nil {
+			t.Fatalf("protocol error instead of job error: %v", out.err)
+		}
+		if out.res.Err == nil {
+			t.Fatal("job succeeded despite SIGKILLed worker process")
+		}
+		t.Logf("job failed as expected after SIGKILL: %v", out.res.Err)
+	case <-time.After(45 * time.Second):
+		t.Fatal("job hung after worker process was killed")
+	}
+
+	// The queue keeps serving on the surviving processes. (WaitWorkers
+	// waits for "at least", so confirm the dead worker really left.)
+	if _, err := coord.WaitWorkers(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.WorkerCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet size = %d, want 2 after kill", coord.WorkerCount())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	stats, err = cli.Run(stencilSpec(4, 32))
+	if err != nil {
+		t.Fatalf("post-kill job: %v", err)
+	}
+	if stats.Workers != 4 {
+		t.Errorf("post-kill workers = %d, want 4", stats.Workers)
+	}
+}

@@ -236,10 +236,19 @@ func (rc *RankCtx) RunInto(inputs [][]byte, gi, t, i int) ([][]byte, []byte) {
 // inputs, writing into the current row. On failure it records the
 // run's first error but still publishes a valid output, keeping the
 // protocol flowing so peer ranks do not deadlock on missing sends.
+// Once the run has failed, remaining tasks skip kernel execution
+// entirely: the schedule drains at wire speed (outputs are still
+// published for peers) instead of burning kernel time on doomed work —
+// which is what lets a job on a dead cluster peer fail in milliseconds
+// rather than after the full busy-wait schedule.
 func (rc *RankCtx) ExecWith(gi, t, i int, inputs [][]byte) []byte {
 	g := rc.Graph(gi)
 	out := rc.plan().Rows(rc.Rank, gi).Cur(i)
-	err := g.ExecutePoint(t, i, out, inputs, rc.plan().Scratch(gi, i), rc.validate && !rc.firstErr.Failed())
+	if rc.firstErr.Failed() {
+		g.WriteOutput(t, i, out)
+		return out
+	}
+	err := g.ExecutePoint(t, i, out, inputs, rc.plan().Scratch(gi, i), rc.validate)
 	if err != nil {
 		rc.firstErr.Set(err)
 		g.WriteOutput(t, i, out)
@@ -278,6 +287,7 @@ type RankEngine struct {
 	plan      *RankPlan
 	policy    RankPolicy
 	threads   int
+	local     Span // ranks hosted by this engine (all of them in-process)
 	transport Transport
 	barrier   *Barrier
 	ctxs      []*RankCtx
@@ -289,6 +299,33 @@ type RankEngine struct {
 // in-process Fabric over the plan's edge lists) happen here, outside
 // any timed region.
 func NewRankEngine(plan *RankPlan, policy RankPolicy, threads int) (*RankEngine, error) {
+	e := newRankEngine(plan, policy, threads)
+	if transporter, ok := policy.(RankTransporter); ok {
+		transport, err := transporter.OpenTransport(plan)
+		if err != nil {
+			return nil, err
+		}
+		e.transport = transport
+	} else {
+		e.transport = fabricTransport{NewFabricFromEdges(plan.edges)}
+	}
+	return e, nil
+}
+
+// NewLocalRankEngine builds an engine hosting only the plan's Local
+// rank span, moving cross-rank payloads over an externally supplied
+// transport — a cluster worker's slice of a multi-process run whose
+// remaining ranks live in other processes. The engine owns the
+// transport and Closes it. Policies driven this way must be
+// barrier-free: the cyclic barrier cannot span processes, so only the
+// local ranks participate in it.
+func NewLocalRankEngine(plan *RankPlan, policy RankPolicy, threads int, transport Transport) *RankEngine {
+	e := newRankEngine(plan, policy, threads)
+	e.transport = transport
+	return e
+}
+
+func newRankEngine(plan *RankPlan, policy RankPolicy, threads int) *RankEngine {
 	if threads < 1 {
 		threads = 1
 	}
@@ -299,33 +336,25 @@ func NewRankEngine(plan *RankPlan, policy RankPolicy, threads int) (*RankEngine,
 		plan:    plan,
 		policy:  policy,
 		threads: threads,
-		barrier: NewBarrier(plan.Ranks),
-	}
-	if transporter, ok := policy.(RankTransporter); ok {
-		transport, err := transporter.OpenTransport(plan)
-		if err != nil {
-			return nil, err
-		}
-		e.transport = transport
-	} else {
-		e.transport = fabricTransport{NewFabricFromEdges(plan.edges)}
+		local:   plan.Local,
+		barrier: NewBarrier(plan.Local.Len()),
 	}
 	e.ctxs = make([]*RankCtx, plan.Ranks)
-	for r := range e.ctxs {
+	for r := e.local.Lo; r < e.local.Hi; r++ {
 		e.ctxs[r] = &RankCtx{Rank: r, engine: e}
 	}
-	return e, nil
+	return e
 }
 
-// Run executes every task of the plan once, one goroutine per rank,
-// and returns the first validation or transport error. Even on error
-// every rank completes its schedule (validation is skipped after the
-// first failure), so the transport always drains. Call Plan.Reset
-// before running again.
+// Run executes every locally hosted task of the plan once, one
+// goroutine per rank, and returns the first validation or transport
+// error. Even on error every rank completes its schedule (validation is
+// skipped after the first failure), so the transport always drains.
+// Call Plan.Reset before running again.
 func (e *RankEngine) Run(validate bool) error {
 	firstErr := &ErrOnce{}
 	var wg sync.WaitGroup
-	for r := 0; r < e.plan.Ranks; r++ {
+	for r := e.local.Lo; r < e.local.Hi; r++ {
 		rc := e.ctxs[r]
 		rc.validate = validate
 		rc.firstErr = firstErr

@@ -24,11 +24,16 @@ type RankPlan struct {
 	// MaxSteps is the tallest graph's timestep count — the length of
 	// every rank's outer loop.
 	MaxSteps int
+	// Local is the contiguous span of ranks hosted by this process. An
+	// in-process plan hosts every rank; a cluster worker builds payload
+	// rows and scratch only for its assigned span, while spans and edge
+	// lists stay global (remote routing needs them).
+	Local Span
 
 	spans   [][]Span             // [graph][rank]
 	edges   [][]Edge             // [graph]: distinct cross-rank dependence edges
-	rows    [][]*Rows            // [rank][graph]
-	scratch [][]*kernels.Scratch // [graph][column]
+	rows    [][]*Rows            // [rank][graph]; nil outside Local
+	scratch [][]*kernels.Scratch // [graph][column]; nil outside Local's columns
 }
 
 // BuildRankPlan expands the app's rank layout for the given rank
@@ -39,7 +44,25 @@ func BuildRankPlan(app *core.App, ranks int) *RankPlan {
 	if ranks < 1 {
 		ranks = 1
 	}
-	p := &RankPlan{App: app, Ranks: ranks}
+	return BuildRankPlanLocal(app, ranks, Span{Lo: 0, Hi: ranks})
+}
+
+// BuildRankPlanLocal builds the plan of a process hosting only the
+// local span of a ranks-wide run — a cluster worker's slice of a
+// multi-process mesh. The global structures (per-rank spans, cross-rank
+// edge lists) cover every rank, so transports can route to remote
+// peers; the per-rank memory (payload rows, scratch working sets) is
+// allocated for the local ranks only.
+func BuildRankPlanLocal(app *core.App, ranks int, local Span) *RankPlan {
+	if ranks < 1 {
+		ranks = 1
+	}
+	local.Lo = max(local.Lo, 0)
+	local.Hi = min(local.Hi, ranks)
+	if local.Hi < local.Lo {
+		local.Hi = local.Lo
+	}
+	p := &RankPlan{App: app, Ranks: ranks, Local: local}
 	n := len(app.Graphs)
 	p.spans = make([][]Span, n)
 	p.edges = make([][]Edge, n)
@@ -58,7 +81,7 @@ func BuildRankPlan(app *core.App, ranks int) *RankPlan {
 	for gi := range app.Graphs {
 		gi := gi
 		jobs = append(jobs, func() { p.fillGraph(gi) })
-		for r := 0; r < ranks; r++ {
+		for r := local.Lo; r < local.Hi; r++ {
 			r := r
 			jobs = append(jobs, func() {
 				g := app.Graphs[gi]
@@ -89,8 +112,15 @@ func (p *RankPlan) fillGraph(gi int) {
 		p.edges[gi] = append(p.edges[gi], Edge{Producer: producer, Consumer: consumer})
 	})
 	p.scratch[gi] = make([]*kernels.Scratch, g.MaxWidth)
-	for i := range p.scratch[gi] {
-		p.scratch[gi][i] = kernels.NewScratch(g.ScratchBytes)
+	if p.Local.Len() > 0 {
+		// Scratch working sets can be large; allocate them only for the
+		// columns the local ranks execute (contiguous under block
+		// distribution).
+		lo := p.spans[gi][p.Local.Lo].Lo
+		hi := p.spans[gi][p.Local.Hi-1].Hi
+		for i := lo; i < hi; i++ {
+			p.scratch[gi][i] = kernels.NewScratch(g.ScratchBytes)
+		}
 	}
 }
 
@@ -148,7 +178,9 @@ func (p *RankPlan) Scratch(gi, i int) *kernels.Scratch { return p.scratch[gi][i]
 func (p *RankPlan) Reset() {
 	for _, rows := range p.rows {
 		for _, r := range rows {
-			r.Rehome()
+			if r != nil {
+				r.Rehome()
+			}
 		}
 	}
 }

@@ -1,17 +1,26 @@
 // Package tcp implements a hand-rolled distributed runtime: ranks
-// communicate over real TCP connections (loopback) with a
-// length-prefixed wire protocol, rather than over in-process channels.
-// It is the closest this repository gets to the paper's actual
-// deployment model — separate address spaces joined by a network — and
-// exercises connection establishment, framing, demultiplexing and
-// flow control that the channel-based backends abstract away.
+// communicate over real TCP connections with a length-prefixed wire
+// protocol, rather than over in-process channels. It is the closest
+// this repository gets to the paper's actual deployment model —
+// separate address spaces joined by a network — and exercises
+// connection establishment, framing, demultiplexing and flow control
+// that the channel-based backends abstract away.
 //
 // Topology: a full mesh. Every ordered rank pair (s → r) gets one
 // connection, written only by s and read by a demultiplexer goroutine
-// at r that routes frames to per-edge queues. Scheduling is exactly
-// the p2p backend's eager rank policy — this package contributes only
-// the exec.Transport adapter that swaps the in-process fabric for the
-// wire, plugged into the shared exec.RankEngine via OpenTransport.
+// at the process hosting r that routes frames to per-edge queues. The
+// mesh is constructible in two shapes:
+//
+//   - In-process (the "tcp" backend): one process hosts every rank on
+//     loopback. Scheduling is exactly the p2p backend's eager rank
+//     policy — this package contributes only the exec.Transport adapter
+//     that swaps the in-process fabric for the wire, plugged into the
+//     shared exec.RankEngine via OpenTransport.
+//   - Multi-process (cluster mode): each process hosts a contiguous
+//     rank span of a plan built with exec.BuildRankPlanLocal, and
+//     NewMeshTransport wires the spans together from an externally
+//     supplied rank→address map (internal/cluster drives this).
+//
 // The per-edge queues are built from the RankPlan's cross-rank edge
 // list, the same enumeration the fabric uses, so both transports agree
 // exactly on which edges exist.
@@ -22,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"time"
 
 	"taskbench/internal/core"
 	"taskbench/internal/runtime"
@@ -45,7 +56,7 @@ func (rt) Info() runtime.Info {
 		Parallelism: "explicit",
 		Distributed: true,
 		Async:       false,
-		Notes:       "full TCP mesh on loopback; length-prefixed frames; per-edge demux",
+		Notes:       "full TCP mesh; length-prefixed frames; per-edge demux; cluster-capable",
 	}
 }
 
@@ -69,25 +80,80 @@ type policy struct {
 // so a reused RankSession pays connection establishment once per
 // configuration instead of per run.
 func (*policy) OpenTransport(plan *exec.RankPlan) (exec.Transport, error) {
-	return newTransport(plan)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen: %w", err)
+	}
+	addrs := make([]string, plan.Ranks)
+	for r := range addrs {
+		addrs[r] = ln.Addr().String()
+	}
+	return NewMeshTransport(plan, Topology{
+		Local:    exec.Span{Lo: 0, Hi: plan.Ranks},
+		Addrs:    addrs,
+		Listener: ln,
+	})
 }
 
 // frameHeader is the fixed wire header preceding every payload:
 // payload length, graph index, producer column, consumer column.
 const frameHeaderSize = 16
 
+// handshakeMagic opens every connection of a mesh, so a stray dialer
+// (or a peer from a different configuration) is rejected instead of
+// silently feeding frames into the wrong queues.
+const handshakeMagic = 0x54424d48 // "TBMH"
+
+// handshakeSize is magic + config id + from rank + to rank.
+const handshakeSize = 4 + 8 + 4 + 4
+
 // edgeCap bounds per-edge buffering; the step-lockstep structure keeps
 // at most a couple of outstanding frames per edge.
 const edgeCap = 8
 
-// transport is the TCP mesh of one engine, implementing
-// exec.Transport.
-type transport struct {
+// Topology describes one process's slice of a rank mesh: which ranks it
+// hosts, where every rank's hosting process listens, and the pre-bound
+// listener inbound links arrive on. The in-process backend uses the
+// degenerate topology (every rank local, every address the same
+// loopback listener); cluster workers get theirs from the coordinator.
+type Topology struct {
+	// Local is the contiguous span of ranks hosted by this process; it
+	// must match the plan's Local span.
+	Local exec.Span
+	// Addrs[r] is the data address of the process hosting rank r. Must
+	// have one entry per rank of the plan.
+	Addrs []string
+	// Config identifies the session in connection handshakes, so
+	// concurrent meshes sharing hosts cannot cross-wire. Both sides of
+	// every connection must agree.
+	Config uint64
+	// Listener receives the mesh's inbound connections. The transport
+	// takes ownership and closes it once the mesh is established.
+	Listener net.Listener
+	// Timeout bounds mesh establishment (dials, handshakes and the wait
+	// for inbound links). Zero means no deadline — appropriate only for
+	// the in-process mesh, where all dialers are local.
+	Timeout time.Duration
+	// Cancel, when non-nil, aborts establishment early if it closes —
+	// the cluster worker wires its session's release signal here so a
+	// coordinator-declared peer death interrupts a mesh still dialing
+	// the dead process instead of waiting out the full Timeout.
+	Cancel <-chan struct{}
+}
+
+// MeshTransport is the TCP mesh of one engine, implementing
+// exec.Transport. A torn-down mesh (Close, Abort, or a connection
+// failure) unblocks every pending Recv with a zero-length payload that
+// fails validation at the consumer, so a dead peer process produces an
+// error, never a hang.
+type MeshTransport struct {
 	ranks int
+	local exec.Span
 	// widths[g] is graph g's max width, for routing frames to the
 	// consumer's rank.
 	widths []int
-	// out[from][to] is the connection written by rank `from`.
+	// out[from][to] is the connection written by rank `from`; only
+	// rows in the local span are populated.
 	out [][]net.Conn
 	// edges[graph][consumer][producer] receives demultiplexed
 	// payloads at the consumer's rank.
@@ -97,93 +163,249 @@ type transport struct {
 	free []exec.PayloadPool
 	// errs records fatal transport errors from the demultiplexers.
 	errs exec.ErrOnce
+
+	// done is closed on teardown, releasing blocked Recvs and demux
+	// handoffs.
+	done     chan struct{}
+	downOnce sync.Once
+	// connMu guards conns, the registry of every dialed and accepted
+	// connection. Teardown closes only through the registry — never by
+	// walking out, which the constructor may still be populating when a
+	// peer dies mid-establishment.
+	connMu sync.Mutex
+	conns  []net.Conn
+	ln     net.Listener
 }
 
-// newTransport builds the connection mesh and edge queues and starts
-// one demultiplexer per incoming connection.
-func newTransport(plan *exec.RankPlan) (*transport, error) {
+// register records a connection for teardown. If the mesh is already
+// torn down the connection is closed immediately and false returned.
+func (tr *MeshTransport) register(conn net.Conn) bool {
+	tr.connMu.Lock()
+	defer tr.connMu.Unlock()
+	select {
+	case <-tr.done:
+		conn.Close()
+		return false
+	default:
+	}
+	tr.conns = append(tr.conns, conn)
+	return true
+}
+
+// NewMeshTransport builds this process's slice of the connection mesh
+// — per-edge queues for every locally consumed cross-rank edge, one
+// outbound connection per (local rank, peer rank) pair, and one
+// demultiplexer per inbound connection — and blocks until every
+// expected inbound link has arrived. All processes of a topology must
+// construct their transports concurrently: each side's dials complete
+// against the others' pre-bound listeners.
+func NewMeshTransport(plan *exec.RankPlan, topo Topology) (*MeshTransport, error) {
 	ranks := plan.Ranks
 	app := plan.App
-	tr := &transport{ranks: ranks, widths: make([]int, len(app.Graphs))}
+	if len(topo.Addrs) != ranks {
+		return nil, fmt.Errorf("tcp: topology has %d addrs, want %d", len(topo.Addrs), ranks)
+	}
+	tr := &MeshTransport{
+		ranks:  ranks,
+		local:  topo.Local,
+		widths: make([]int, len(app.Graphs)),
+		done:   make(chan struct{}),
+		ln:     topo.Listener,
+	}
 
 	// Edge queues, from the plan's shared cross-rank edge enumeration
-	// and the fabric's shared queue construction.
+	// and the fabric's shared queue construction — but only for edges
+	// this process consumes: a worker's queue memory scales with its
+	// rank span, not the whole run. Sends to remote consumers need no
+	// queue (Remote is ownership arithmetic and frames leave on a
+	// connection), and inbound frames are only ever addressed to local
+	// consumers.
 	lists := make([][]exec.Edge, len(app.Graphs))
 	tr.free = make([]exec.PayloadPool, len(app.Graphs))
 	for gi, g := range app.Graphs {
 		tr.widths[gi] = g.MaxWidth
-		lists[gi] = plan.Edges(gi)
+		for _, e := range plan.Edges(gi) {
+			owner := exec.OwnerOf(e.Consumer, g.MaxWidth, ranks)
+			if owner >= topo.Local.Lo && owner < topo.Local.Hi {
+				lists[gi] = append(lists[gi], e)
+			}
+		}
 		tr.free[gi] = exec.NewEdgePool(len(lists[gi]), edgeCap)
 	}
 	tr.edges = exec.EdgeQueues(lists, edgeCap)
 
-	// One listener per rank, then a full dial mesh. The dialer
-	// identifies itself with a one-int32 handshake.
-	listeners := make([]net.Listener, ranks)
-	for r := 0; r < ranks; r++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, fmt.Errorf("tcp: listen: %w", err)
-		}
-		listeners[r] = ln
-	}
-	tr.out = make([][]net.Conn, ranks)
-	for r := range tr.out {
-		tr.out[r] = make([]net.Conn, ranks)
+	var deadline time.Time
+	if topo.Timeout > 0 {
+		deadline = time.Now().Add(topo.Timeout)
 	}
 
-	accepted := make(chan error, ranks)
-	for r := 0; r < ranks; r++ {
-		go func(r int) {
-			for peer := 0; peer < ranks-1; peer++ {
-				conn, err := listeners[r].Accept()
+	// Every rank pair (s, r) with s ≠ r and r local produces one
+	// inbound connection, regardless of which process hosts s.
+	expect := topo.Local.Len() * (ranks - 1)
+	tr.out = make([][]net.Conn, ranks)
+	if topo.Cancel != nil {
+		established := make(chan struct{})
+		defer close(established)
+		go func() {
+			select {
+			case <-topo.Cancel:
+				tr.fail(fmt.Errorf("tcp: mesh establishment canceled"))
+			case <-established:
+			}
+		}()
+	}
+	accepted := make(chan error, 1)
+	go func() { accepted <- tr.acceptInbound(topo, expect, deadline) }()
+
+	// Dial one connection per (local rank, peer rank) pair. Pairs
+	// within this process still cross the loopback socket: the tcp
+	// transport's contract is that every cross-rank payload pays real
+	// framing and kernel-crossing costs.
+	dialErr := func() error {
+		for from := topo.Local.Lo; from < topo.Local.Hi; from++ {
+			tr.out[from] = make([]net.Conn, ranks)
+			for to := 0; to < ranks; to++ {
+				if from == to {
+					continue
+				}
+				conn, err := tr.dialUntil(topo.Addrs[to], deadline)
 				if err != nil {
-					accepted <- err
-					return
+					return fmt.Errorf("tcp: dial rank %d (%s): %w", to, topo.Addrs[to], err)
 				}
-				var from int32
-				if err := binary.Read(conn, binary.LittleEndian, &from); err != nil {
-					accepted <- err
-					return
+				if err := writeHandshake(conn, topo.Config, from, to); err != nil {
+					conn.Close()
+					return fmt.Errorf("tcp: handshake to rank %d: %w", to, err)
 				}
-				go tr.demux(conn)
+				if !tr.register(conn) {
+					return fmt.Errorf("tcp: mesh torn down during establishment")
+				}
+				tr.out[from][to] = conn
 			}
-			accepted <- nil
-		}(r)
-	}
-	for from := 0; from < ranks; from++ {
-		for to := 0; to < ranks; to++ {
-			if from == to {
-				continue
-			}
-			conn, err := net.Dial("tcp", listeners[to].Addr().String())
-			if err != nil {
-				return nil, fmt.Errorf("tcp: dial rank %d: %w", to, err)
-			}
-			if err := binary.Write(conn, binary.LittleEndian, int32(from)); err != nil {
-				return nil, fmt.Errorf("tcp: handshake: %w", err)
-			}
-			tr.out[from][to] = conn
 		}
+		return nil
+	}()
+	if dialErr != nil {
+		// Unblock the accept loop (it may be waiting, deadline-free in
+		// the in-process topology, for links the failed dial phase will
+		// never trigger) before collecting its verdict.
+		topo.Listener.Close()
 	}
-	for r := 0; r < ranks; r++ {
-		if err := <-accepted; err != nil {
-			return nil, fmt.Errorf("tcp: accept: %w", err)
+	acceptErr := <-accepted
+	topo.Listener.Close()
+	if dialErr != nil || acceptErr != nil {
+		tr.teardown()
+		if dialErr != nil {
+			return nil, dialErr
 		}
-		listeners[r].Close()
+		return nil, fmt.Errorf("tcp: accept: %w", acceptErr)
 	}
 	return tr, nil
 }
 
+// acceptInbound accepts connections until the expected number of mesh
+// links have presented valid handshakes, one demultiplexer per link.
+// Connections that are not mesh links — port scans, health probes,
+// peers of a different configuration — are closed and ignored rather
+// than failing establishment: on a real multi-host cluster the
+// advertised data port sees unrelated traffic.
+func (tr *MeshTransport) acceptInbound(topo Topology, expect int, deadline time.Time) error {
+	if dl, ok := topo.Listener.(interface{ SetDeadline(time.Time) error }); ok && !deadline.IsZero() {
+		dl.SetDeadline(deadline)
+	}
+	for linked := 0; linked < expect; {
+		conn, err := topo.Listener.Accept()
+		if err != nil {
+			return err
+		}
+		// A silent stray connection must not stall the loop until the
+		// whole establishment deadline; give each handshake a short
+		// budget of its own.
+		hsDeadline := time.Now().Add(10 * time.Second)
+		if !deadline.IsZero() && deadline.Before(hsDeadline) {
+			hsDeadline = deadline
+		}
+		conn.SetReadDeadline(hsDeadline)
+		config, _, to, err := readHandshake(conn)
+		if err != nil || config != topo.Config || to < topo.Local.Lo || to >= topo.Local.Hi {
+			conn.Close()
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
+		if !tr.register(conn) {
+			return fmt.Errorf("mesh torn down during establishment")
+		}
+		go tr.demux(conn)
+		linked++
+	}
+	return nil
+}
+
+// dialUntil dials addr, retrying in bounded attempts until the
+// deadline: during concurrent mesh establishment a peer's listener is
+// bound before its address is published, so refusals are transient
+// only if the peer died — which the deadline (or a cancellation, via
+// the transport's teardown) converts into an error. Attempts are kept
+// short so a cancellation mid-dial is noticed within half a second,
+// not at the deadline.
+func (tr *MeshTransport) dialUntil(addr string, deadline time.Time) (net.Conn, error) {
+	for {
+		select {
+		case <-tr.done:
+			return nil, fmt.Errorf("mesh torn down")
+		default:
+		}
+		timeout := 10 * time.Second
+		if !deadline.IsZero() {
+			timeout = min(500*time.Millisecond, time.Until(deadline))
+			if timeout <= 0 {
+				return nil, fmt.Errorf("deadline exceeded")
+			}
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		if !deadline.IsZero() && time.Now().Add(50*time.Millisecond).Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		return nil, err
+	}
+}
+
+func writeHandshake(conn net.Conn, config uint64, from, to int) error {
+	var buf [handshakeSize]byte
+	binary.LittleEndian.PutUint32(buf[0:4], handshakeMagic)
+	binary.LittleEndian.PutUint64(buf[4:12], config)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(from))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(to))
+	_, err := conn.Write(buf[:])
+	return err
+}
+
+func readHandshake(conn net.Conn) (config uint64, from, to int, err error) {
+	var buf [handshakeSize]byte
+	if _, err = io.ReadFull(conn, buf[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != handshakeMagic {
+		return 0, 0, 0, fmt.Errorf("bad handshake magic")
+	}
+	config = binary.LittleEndian.Uint64(buf[4:12])
+	from = int(int32(binary.LittleEndian.Uint32(buf[12:16])))
+	to = int(int32(binary.LittleEndian.Uint32(buf[16:20])))
+	return config, from, to, nil
+}
+
 // demux reads frames from one connection and routes them to edge
-// queues until the peer closes the connection.
-func (tr *transport) demux(conn net.Conn) {
+// queues. A read failure while the mesh is still live means a peer
+// process died mid-run; the whole mesh is torn down so blocked ranks
+// unwedge and surface the error instead of hanging.
+func (tr *MeshTransport) demux(conn net.Conn) {
 	var header [frameHeaderSize]byte
 	for {
 		if _, err := io.ReadFull(conn, header[:]); err != nil {
-			if err != io.EOF {
-				tr.errs.Set(fmt.Errorf("tcp: read header: %w", err))
-			}
+			tr.fail(fmt.Errorf("tcp: peer connection lost: %w", err))
 			return
 		}
 		length := binary.LittleEndian.Uint32(header[0:4])
@@ -192,16 +414,53 @@ func (tr *transport) demux(conn net.Conn) {
 		consumer := int32(binary.LittleEndian.Uint32(header[12:16]))
 		payload := tr.frameBuf(int(graph), int(length))
 		if _, err := io.ReadFull(conn, payload); err != nil {
-			tr.errs.Set(fmt.Errorf("tcp: read payload: %w", err))
+			tr.fail(fmt.Errorf("tcp: read payload: %w", err))
 			return
 		}
 		ch := tr.edge(int(graph), int(producer), int(consumer))
 		if ch == nil {
-			tr.errs.Set(fmt.Errorf("tcp: frame for unknown edge g%d %d→%d", graph, producer, consumer))
+			tr.fail(fmt.Errorf("tcp: frame for unknown edge g%d %d→%d", graph, producer, consumer))
 			return
 		}
-		ch <- payload
+		select {
+		case ch <- payload:
+		case <-tr.done:
+			return
+		}
 	}
+}
+
+// fail records a transport error and tears the mesh down, unless the
+// mesh is already being torn down (in which case connection errors are
+// the expected echo of our own Close).
+func (tr *MeshTransport) fail(err error) {
+	select {
+	case <-tr.done:
+		return
+	default:
+	}
+	tr.errs.Set(err)
+	tr.teardown()
+}
+
+// Abort tears the mesh down with the given error, unblocking every
+// pending Recv and failing subsequent Sends. The cluster worker calls
+// it when the coordinator declares a peer dead while this process's
+// connections still look healthy (e.g. a stalled peer).
+func (tr *MeshTransport) Abort(err error) { tr.fail(err) }
+
+func (tr *MeshTransport) teardown() {
+	tr.downOnce.Do(func() {
+		close(tr.done)
+		tr.connMu.Lock()
+		for _, c := range tr.conns {
+			c.Close()
+		}
+		tr.connMu.Unlock()
+		if tr.ln != nil {
+			tr.ln.Close()
+		}
+	})
 }
 
 // frameBuf returns a payload buffer of the given length, drawn from
@@ -209,7 +468,7 @@ func (tr *transport) demux(conn net.Conn) {
 // demultiplexing is allocation-free after the first timesteps. The
 // graph index comes off the wire, so it is bounds-checked here (the
 // malformed-frame error surfaces later in the edge lookup).
-func (tr *transport) frameBuf(graph, length int) []byte {
+func (tr *MeshTransport) frameBuf(graph, length int) []byte {
 	if graph >= 0 && graph < len(tr.free) {
 		return tr.free[graph].Get(length)
 	}
@@ -218,14 +477,14 @@ func (tr *transport) frameBuf(graph, length int) []byte {
 
 // Recycle implements exec.Transport: consumed frame buffers return to
 // the graph's free list for reuse by the demultiplexers.
-func (tr *transport) Recycle(graph int, payload []byte) {
-	if graph < 0 || graph >= len(tr.free) {
+func (tr *MeshTransport) Recycle(graph int, payload []byte) {
+	if graph < 0 || graph >= len(tr.free) || payload == nil {
 		return
 	}
 	tr.free[graph].Put(payload)
 }
 
-func (tr *transport) edge(graph, producer, consumer int) chan []byte {
+func (tr *MeshTransport) edge(graph, producer, consumer int) chan []byte {
 	if graph < 0 || graph >= len(tr.edges) {
 		return nil
 	}
@@ -236,17 +495,24 @@ func (tr *transport) edge(graph, producer, consumer int) chan []byte {
 	return byProd[producer]
 }
 
-// Remote reports whether the edge crosses a rank boundary.
-func (tr *transport) Remote(graph, producer, consumer int) bool {
-	return tr.edge(graph, producer, consumer) != nil
+// Remote reports whether the edge crosses a rank boundary. It is pure
+// ownership arithmetic — it cannot use queue presence like the fabric,
+// because this process only allocates queues for its own consumers,
+// while SendOutputs asks about edges whose consumer may live anywhere.
+func (tr *MeshTransport) Remote(graph, producer, consumer int) bool {
+	w := tr.widths[graph]
+	return exec.OwnerOf(producer, w, tr.ranks) != exec.OwnerOf(consumer, w, tr.ranks)
 }
 
 // Send frames the payload onto the producer rank's connection to the
 // consumer's rank. Only the owning rank goroutine writes a given
 // connection, so no locking is needed.
-func (tr *transport) Send(fromRank, graph, producer, consumer int, payload []byte) error {
+func (tr *MeshTransport) Send(fromRank, graph, producer, consumer int, payload []byte) error {
 	toRank := exec.OwnerOf(consumer, tr.widths[graph], tr.ranks)
 	conn := tr.out[fromRank][toRank]
+	if conn == nil {
+		return fmt.Errorf("tcp: no connection rank %d→%d (mesh torn down?)", fromRank, toRank)
+	}
 	var header [frameHeaderSize]byte
 	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(header[4:8], uint32(graph))
@@ -261,21 +527,23 @@ func (tr *transport) Send(fromRank, graph, producer, consumer int, payload []byt
 	return nil
 }
 
-// Recv blocks until the next frame on the edge arrives.
-func (tr *transport) Recv(graph, producer, consumer int) []byte {
-	return <-tr.edge(graph, producer, consumer)
+// Recv blocks until the next frame on the edge arrives — or the mesh
+// is torn down, in which case it returns a nil payload that fails
+// validation at the consumer. Keeping the protocol flowing after a
+// failure is what turns a killed peer process into a clean job error
+// instead of a hang.
+func (tr *MeshTransport) Recv(graph, producer, consumer int) []byte {
+	select {
+	case payload := <-tr.edge(graph, producer, consumer):
+		return payload
+	case <-tr.done:
+		return nil
+	}
 }
 
 // Err reports any asynchronous demultiplexer failure.
-func (tr *transport) Err() error { return tr.errs.Err() }
+func (tr *MeshTransport) Err() error { return tr.errs.Err() }
 
-// Close shuts down the mesh; demultiplexers exit on EOF.
-func (tr *transport) Close() {
-	for _, conns := range tr.out {
-		for _, c := range conns {
-			if c != nil {
-				c.Close()
-			}
-		}
-	}
-}
+// Close shuts down the mesh; demultiplexers exit on the closed
+// connections.
+func (tr *MeshTransport) Close() { tr.teardown() }

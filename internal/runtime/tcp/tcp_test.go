@@ -1,10 +1,15 @@
 package tcp
 
 import (
+	"net"
+	"sync"
 	"testing"
+	"time"
 
 	"taskbench/internal/core"
 	"taskbench/internal/runtime"
+	"taskbench/internal/runtime/exec"
+	"taskbench/internal/runtime/p2p"
 	"taskbench/internal/runtime/runtimetest"
 )
 
@@ -45,5 +50,183 @@ func TestAllToAllOverWire(t *testing.T) {
 	app.Workers = 4
 	if _, err := rt.Run(app); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// splitMesh stands up the two halves of a 4-rank mesh the way two
+// cluster worker processes would: separate local plans, separate
+// listeners, transports constructed concurrently from a shared
+// rank→address table.
+func splitMesh(t *testing.T, mkApp func() *core.App, ranks int) (apps [2]*core.App, plans [2]*exec.RankPlan, trs [2]*MeshTransport) {
+	t.Helper()
+	spans := [2]exec.Span{{Lo: 0, Hi: ranks / 2}, {Lo: ranks / 2, Hi: ranks}}
+	lns := [2]net.Listener{}
+	addrs := make([]string, ranks)
+	for half := 0; half < 2; half++ {
+		apps[half] = mkApp()
+		plans[half] = exec.BuildRankPlanLocal(apps[half], ranks, spans[half])
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[half] = ln
+		for r := spans[half].Lo; r < spans[half].Hi; r++ {
+			addrs[r] = ln.Addr().String()
+		}
+	}
+	var wg sync.WaitGroup
+	errs := [2]error{}
+	for half := 0; half < 2; half++ {
+		wg.Add(1)
+		go func(half int) {
+			defer wg.Done()
+			trs[half], errs[half] = NewMeshTransport(plans[half], Topology{
+				Local:    spans[half],
+				Addrs:    addrs,
+				Config:   42,
+				Listener: lns[half],
+				Timeout:  10 * time.Second,
+			})
+		}(half)
+	}
+	wg.Wait()
+	for half, err := range errs {
+		if err != nil {
+			t.Fatalf("half %d mesh: %v", half, err)
+		}
+	}
+	return apps, plans, trs
+}
+
+// TestMeshAcrossLocalSpans validates the multi-process construction:
+// each half hosts two ranks through its own engine, and every payload
+// crossing the span boundary is validated at the consumer.
+func TestMeshAcrossLocalSpans(t *testing.T) {
+	const ranks = 4
+	mkApp := func() *core.App {
+		app := core.NewApp(core.MustNew(core.Params{
+			Timesteps: 30, MaxWidth: ranks, Dependence: core.Stencil1DPeriodic,
+			OutputBytes: 256,
+		}))
+		app.Workers = ranks
+		return app
+	}
+	apps, plans, trs := splitMesh(t, mkApp, ranks)
+	engines := [2]*exec.RankEngine{}
+	for half := 0; half < 2; half++ {
+		engines[half] = exec.NewLocalRankEngine(plans[half], p2p.Policy{}, 1, trs[half])
+		defer engines[half].Close()
+	}
+	for run := 0; run < 3; run++ {
+		var wg sync.WaitGroup
+		errs := [2]error{}
+		for half := 0; half < 2; half++ {
+			plans[half].Reset()
+			wg.Add(1)
+			go func(half int) {
+				defer wg.Done()
+				errs[half] = engines[half].Run(apps[half].Validate)
+			}(half)
+		}
+		wg.Wait()
+		for half, err := range errs {
+			if err != nil {
+				t.Fatalf("run %d half %d: %v", run, half, err)
+			}
+		}
+	}
+}
+
+// TestMeshAbortUnblocksRecv kills one half of a split mesh mid-run and
+// requires the surviving half to finish with an error — never hang.
+func TestMeshAbortUnblocksRecv(t *testing.T) {
+	const ranks = 4
+	mkApp := func() *core.App {
+		app := core.NewApp(core.MustNew(core.Params{
+			// Tall graph so the survivor is mid-protocol when the peer
+			// dies.
+			Timesteps: 10000, MaxWidth: ranks, Dependence: core.Stencil1DPeriodic,
+			OutputBytes: 256,
+		}))
+		app.Workers = ranks
+		return app
+	}
+	apps, plans, trs := splitMesh(t, mkApp, ranks)
+	engine0 := exec.NewLocalRankEngine(plans[0], p2p.Policy{}, 1, trs[0])
+	defer engine0.Close()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- engine0.Run(apps[0].Validate) }()
+	// The peer "process" dies without ever running its ranks.
+	time.Sleep(20 * time.Millisecond)
+	trs[1].Abort(nil)
+	trs[1].Close()
+
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("survivor run succeeded despite dead peer")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("survivor run hung after peer death")
+	}
+}
+
+// TestMeshRejectsWrongConfig ensures handshakes from a different
+// session cannot cross-wire into a mesh: the imposter connection is
+// closed and ignored, and the missing genuine link times
+// establishment out instead of admitting the stranger.
+func TestMeshRejectsWrongConfig(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := core.NewApp(core.MustNew(core.Params{
+		Timesteps: 2, MaxWidth: 2, Dependence: core.Stencil1D,
+	}))
+	app.Workers = 2
+	plan := exec.BuildRankPlanLocal(app, 2, exec.Span{Lo: 0, Hi: 1})
+	// Rank 1's "process" is a sink that accepts the mesh's outbound
+	// dial and goes silent, so the only inbound link is the imposter's.
+	sink, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	go func() {
+		for {
+			if _, err := sink.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	addrs := []string{ln.Addr().String(), sink.Addr().String()}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := NewMeshTransport(plan, Topology{
+			Local: exec.Span{Lo: 0, Hi: 1}, Addrs: addrs, Config: 7,
+			Listener: ln, Timeout: 2 * time.Second,
+		})
+		done <- err
+	}()
+	// An imposter dialing with the wrong config id must be dropped:
+	// its connection closes (EOF below) while establishment keeps
+	// waiting for the genuine link, which never comes.
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeHandshake(conn, 99, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var one [1]byte
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(one[:]); err == nil {
+		t.Fatal("imposter connection was admitted into the mesh")
+	}
+	if err := <-done; err == nil {
+		t.Fatal("mesh established without its genuine inbound link")
 	}
 }

@@ -50,11 +50,15 @@ func Profile(g *core.Graph) GraphProfile {
 		}
 		for i := off; i < off+w; i++ {
 			best := 0
-			g.DependenciesForPoint(t, i).ForEach(func(dep int) {
+			// The compiled table keeps profiling allocation-free; the
+			// old DependenciesForPoint path allocated an IntervalList
+			// per task.
+			it := g.PointDeps(t, i)
+			for dep, ok := it.Next(); ok; dep, ok = it.Next() {
 				if depth[dep] > best {
 					best = depth[dep]
 				}
-			})
+			}
 			next[i] = best + 1
 			if next[i] > p.CriticalPathLength {
 				p.CriticalPathLength = next[i]
@@ -70,7 +74,8 @@ func Profile(g *core.Graph) GraphProfile {
 		off := g.OffsetAtTimestep(t)
 		w := g.WidthAtTimestep(t)
 		for i := off; i < off+w; i++ {
-			p.BytesPerStep += int64(g.DependenciesForPoint(t, i).Count()) * int64(g.OutputBytes)
+			it := g.PointDeps(t, i)
+			p.BytesPerStep += int64(it.Count()) * int64(g.OutputBytes)
 		}
 	}
 	return p

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzAppSpecRoundTrip checks, for any input the decoder accepts, that
+// the normalized form (ToApp → FromApp, which fills defaults) is a
+// fixed point of both the app round trip and the JSON round trip. The
+// spec schema travels between processes and versions in cluster mode,
+// so "decode(encode(x)) == x" must hold for everything we emit.
+func FuzzAppSpecRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{"graphs":[{"steps":4,"width":4,"type":"stencil_1d"}]}`,
+		`{"graphs":[{"steps":10,"width":8,"type":"fft","kernel":"compute_bound","iterations":64}],"workers":4}`,
+		`{"graphs":[{"steps":3,"width":6,"type":"spread","radix":2,"period":5,"seed":9}],"validate":false}`,
+		`{"graphs":[{"steps":2,"width":2,"type":"trivial","kernel":"busy_wait","wait_nanos":1000}],"nodes":2}`,
+		`{"graphs":[{"steps":5,"width":3,"type":"random_nearest","radix":2,"fraction":0.5},` +
+			`{"steps":5,"width":4,"type":"dom","kernel":"memory_bound","iterations":8,"span_bytes":256,"scratch_bytes":4096}]}`,
+		`{"graphs":[]}`,
+		`{"graphs":[{"steps":-1,"width":4,"type":"stencil_1d"}]}`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		for _, g := range spec.Graphs {
+			// Bound the graph size so the fuzzer explores the schema,
+			// not the allocator.
+			if g.Steps > 1<<12 || g.Width > 1<<12 || g.Scratch > 1<<20 {
+				return
+			}
+		}
+		app, err := spec.ToApp()
+		if err != nil {
+			return // validly rejected configuration
+		}
+		norm := FromApp(app)
+
+		// Normalization must be a fixed point: a second trip through
+		// the app changes nothing.
+		app2, err := norm.ToApp()
+		if err != nil {
+			t.Fatalf("normalized spec rejected: %v\nspec: %+v", err, norm)
+		}
+		if norm2 := FromApp(app2); !reflect.DeepEqual(norm, norm2) {
+			t.Fatalf("normalization not a fixed point:\n first: %+v\nsecond: %+v", norm, norm2)
+		}
+		if app2.TotalTasks() != app.TotalTasks() || app2.TotalDependencies() != app.TotalDependencies() {
+			t.Fatalf("round trip changed graph structure: %d/%d tasks, %d/%d deps",
+				app.TotalTasks(), app2.TotalTasks(), app.TotalDependencies(), app2.TotalDependencies())
+		}
+
+		// And the JSON codec must preserve the normalized form exactly.
+		var buf strings.Builder
+		if err := Encode(&buf, norm); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := Decode(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(norm, back) {
+			t.Fatalf("JSON round trip changed spec:\n  out: %+v\n back: %+v", norm, back)
+		}
+	})
+}

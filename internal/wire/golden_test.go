@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestGoldenSpecDecode pins the on-disk spec schema: the checked-in
+// input decodes to exactly the expected configuration, and its
+// normalized re-encoding matches the checked-in golden byte for byte.
+// Cluster mode ships these documents between processes (and, across an
+// upgrade, between versions), so schema drift must fail a test, not a
+// fleet.
+func TestGoldenSpecDecode(t *testing.T) {
+	in, err := os.ReadFile(filepath.Join("testdata", "spec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Decode(bytes.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Graphs) != 2 || spec.Workers != 8 || spec.Nodes != 2 {
+		t.Fatalf("unexpected decode: %+v", spec)
+	}
+	g0, g1 := spec.Graphs[0], spec.Graphs[1]
+	if g0.Steps != 100 || g0.Width != 16 || g0.Type != "stencil_1d" ||
+		g0.Kernel != "compute_bound" || g0.Iterations != 4096 ||
+		g0.Output != 1024 || g0.Seed != 42 {
+		t.Errorf("graph 0 decoded wrong: %+v", g0)
+	}
+	if g1.Type != "spread" || g1.Radix != 3 || g1.Period != 5 ||
+		g1.Kernel != "memory_bound" || g1.SpanBytes != 65536 || g1.Scratch != 1048576 {
+		t.Errorf("graph 1 decoded wrong: %+v", g1)
+	}
+
+	app, err := spec.ToApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := Encode(&out, FromApp(app)); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "spec.normalized.json", []byte(out.String()))
+}
+
+// TestGoldenMessages pins the cluster control protocol: every message
+// type round-trips through the checked-in newline-delimited stream.
+func TestGoldenMessages(t *testing.T) {
+	f := false
+	msgs := []Message{
+		{Type: MsgRegister, Name: "node1"},
+		{Type: MsgWelcome, Worker: 3, HeartbeatNanos: 1000000000},
+		{Type: MsgHeartbeat, Worker: 3},
+		{Type: MsgPrepare, Config: 7, Ranks: 6, RankLo: 2, RankHi: 4, Spec: &AppSpec{
+			Workers:  6,
+			Validate: &f,
+			Graphs: []GraphSpec{{
+				Steps: 20, Width: 6, Type: "stencil_1d_periodic",
+				Kernel: "compute_bound", Iterations: 64, Output: 128,
+			}},
+		}},
+		{Type: MsgPrepared, Config: 7, Addr: "127.0.0.1:40721"},
+		{Type: MsgConnect, Config: 7, Addrs: []string{"a:1", "a:1", "b:2", "b:2", "c:3", "c:3"}},
+		{Type: MsgReady, Config: 7},
+		{Type: MsgRun, Config: 7, Job: 9, Kernels: []KernelSpec{{Kernel: "compute_bound", Iterations: 64}}},
+		{Type: MsgResult, Config: 7, Job: 9, ElapsedNanos: 1234567},
+		{Type: MsgRelease, Config: 7},
+		{Type: MsgSubmit, Spec: &AppSpec{Graphs: []GraphSpec{{Steps: 2, Width: 2, Type: "trivial"}}}},
+		{Type: MsgAccepted, Job: 9},
+		{Type: MsgDone, Job: 9, ElapsedNanos: 1234567, Workers: 6},
+		{Type: MsgDone, Job: 10, Err: `worker "node2" died`},
+	}
+	var out bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessage(&out, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareGolden(t, "messages.jsonl", out.Bytes())
+
+	// The checked-in stream decodes back to the same messages.
+	golden, err := os.ReadFile(filepath.Join("testdata", "messages.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(golden))
+	for k, want := range msgs {
+		got, err := ReadMessage(dec)
+		if err != nil {
+			t.Fatalf("message %d: %v", k, err)
+		}
+		want.V = ProtoVersion
+		if got.Spec != nil && want.Spec != nil {
+			if string(mustJSON(t, got.Spec)) != string(mustJSON(t, want.Spec)) {
+				t.Errorf("message %d spec mismatch", k)
+			}
+			got.Spec, want.Spec = nil, nil
+		}
+		gj, wj := mustJSON(t, got), mustJSON(t, want)
+		if string(gj) != string(wj) {
+			t.Errorf("message %d:\n got %s\nwant %s", k, gj, wj)
+		}
+	}
+	if _, err := ReadMessage(dec); err == nil {
+		t.Error("golden stream has extra messages")
+	}
+}
+
+// TestMessageVersioning rejects newer-major messages instead of
+// misreading them, and tolerates unknown fields from same-version
+// peers.
+func TestMessageVersioning(t *testing.T) {
+	dec := json.NewDecoder(strings.NewReader(
+		`{"v":99,"type":"heartbeat"}` + "\n"))
+	if _, err := ReadMessage(dec); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("accepted message from the future: %v", err)
+	}
+	dec = json.NewDecoder(strings.NewReader(
+		`{"v":1,"type":"heartbeat","some_future_field":true}` + "\n" +
+			`{"v":1}` + "\n"))
+	if m, err := ReadMessage(dec); err != nil || m.Type != MsgHeartbeat {
+		t.Errorf("lenient decode failed: %v %+v", err, m)
+	}
+	if _, err := ReadMessage(dec); err == nil {
+		t.Error("accepted message without type")
+	}
+}
+
+// TestShapeKeyIgnoresKernels pins the configuration-reuse contract:
+// kernel changes keep the shape, structural changes do not.
+func TestShapeKeyIgnoresKernels(t *testing.T) {
+	base := AppSpec{Workers: 4, Graphs: []GraphSpec{{
+		Steps: 10, Width: 4, Type: "stencil_1d",
+		Kernel: "compute_bound", Iterations: 1024,
+	}}}
+	kernelSwap := base
+	kernelSwap.Graphs = []GraphSpec{base.Graphs[0]}
+	kernelSwap.Graphs[0].Iterations = 1
+	kernelSwap.Graphs[0].Kernel = "busy_wait"
+	kernelSwap.Graphs[0].WaitNanos = 500
+	if ShapeKey(base) != ShapeKey(kernelSwap) {
+		t.Error("kernel change altered the shape key")
+	}
+	for _, mutate := range []func(*GraphSpec){
+		func(g *GraphSpec) { g.Steps = 11 },
+		func(g *GraphSpec) { g.Width = 8 },
+		func(g *GraphSpec) { g.Type = "fft" },
+		func(g *GraphSpec) { g.Output = 64 },
+		func(g *GraphSpec) { g.Seed = 1 },
+	} {
+		changed := base
+		changed.Graphs = []GraphSpec{base.Graphs[0]}
+		mutate(&changed.Graphs[0])
+		if ShapeKey(base) == ShapeKey(changed) {
+			t.Errorf("structural change %+v did not alter the shape key", changed.Graphs[0])
+		}
+	}
+	moreRanks := base
+	moreRanks.Workers = 8
+	if ShapeKey(base) == ShapeKey(moreRanks) {
+		t.Error("rank-count change did not alter the shape key")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// compareGolden checks got against the named golden file, rewriting it
+// under -update.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/wire -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n got: %s\nwant: %s", name, got, want)
+	}
+}

@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"taskbench/internal/kernels"
+)
+
+// ProtoVersion is the version stamped on every cluster protocol
+// message. A receiver rejects messages from a newer major version
+// instead of misinterpreting fields; unknown fields from same-version
+// peers are ignored (the decoder here is deliberately lenient, unlike
+// the strict spec Decode).
+const ProtoVersion = 1
+
+// Message types of the cluster control protocol. One flat Message
+// envelope carries every type; unused fields stay at their zero value
+// and are omitted from the JSON.
+//
+// Worker ↔ coordinator:
+//
+//	register →, ← welcome            worker joins the fleet
+//	heartbeat →                      liveness, every HeartbeatNanos
+//	← prepare, prepared →            build app/plan + data listener
+//	← connect, ready →               wire the rank mesh across workers
+//	← run, result →                  one job on a prepared config
+//	← release                        drop a config (session teardown)
+//
+// Client ↔ coordinator:
+//
+//	submit →, ← accepted, ← done     one job through the queue
+const (
+	MsgRegister  = "register"
+	MsgWelcome   = "welcome"
+	MsgHeartbeat = "heartbeat"
+	MsgPrepare   = "prepare"
+	MsgPrepared  = "prepared"
+	MsgConnect   = "connect"
+	MsgReady     = "ready"
+	MsgRun       = "run"
+	MsgResult    = "result"
+	MsgRelease   = "release"
+	MsgSubmit    = "submit"
+	MsgAccepted  = "accepted"
+	MsgDone      = "done"
+)
+
+// KernelSpec is the JSON form of one graph's kernel configuration —
+// the part of a job that changes between runs of the same
+// configuration (an METG sweep shrinks Iterations while the DAG shape,
+// and therefore the prepared session, stays fixed).
+type KernelSpec struct {
+	Kernel     string  `json:"kernel,omitempty"`
+	Iterations int64   `json:"iterations,omitempty"`
+	SpanBytes  int64   `json:"span_bytes,omitempty"`
+	WaitNanos  int64   `json:"wait_nanos,omitempty"`
+	Imbalance  float64 `json:"imbalance,omitempty"`
+}
+
+// KernelSpecOf converts a live kernel configuration to its JSON form.
+func KernelSpecOf(k kernels.Config) KernelSpec {
+	ks := KernelSpec{
+		Iterations: k.Iterations,
+		SpanBytes:  k.SpanBytes,
+		WaitNanos:  int64(k.WaitDuration),
+		Imbalance:  k.ImbalanceFactor,
+	}
+	if k.Type != kernels.Empty {
+		ks.Kernel = k.Type.String()
+	}
+	return ks
+}
+
+// ToConfig validates the spec and returns the kernel configuration.
+func (ks KernelSpec) ToConfig() (kernels.Config, error) {
+	k := kernels.Config{
+		Iterations:      ks.Iterations,
+		SpanBytes:       ks.SpanBytes,
+		WaitDuration:    time.Duration(ks.WaitNanos),
+		ImbalanceFactor: ks.Imbalance,
+	}
+	if ks.Kernel != "" {
+		t, err := kernels.ParseType(ks.Kernel)
+		if err != nil {
+			return kernels.Config{}, err
+		}
+		k.Type = t
+	}
+	if err := k.Validate(); err != nil {
+		return kernels.Config{}, err
+	}
+	return k, nil
+}
+
+// Message is the single envelope of the cluster control protocol:
+// newline-delimited JSON over the coordinator's TCP control port.
+// Type selects which fields are meaningful.
+type Message struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+
+	// Name identifies a worker at registration.
+	Name string `json:"name,omitempty"`
+	// Worker is the coordinator-assigned worker id (welcome).
+	Worker int64 `json:"worker,omitempty"`
+	// HeartbeatNanos is the interval workers must heartbeat at
+	// (welcome).
+	HeartbeatNanos int64 `json:"heartbeat_nanos,omitempty"`
+
+	// Config identifies a prepared configuration (prepare…release).
+	Config uint64 `json:"config,omitempty"`
+	// Job identifies one queued job (run, result, accepted, done).
+	Job uint64 `json:"job,omitempty"`
+
+	// Ranks is the total rank count of a configuration (prepare).
+	Ranks int `json:"ranks,omitempty"`
+	// RankLo, RankHi delimit the worker's contiguous rank span
+	// (prepare); Lo inclusive, Hi exclusive.
+	RankLo int `json:"rank_lo,omitempty"`
+	RankHi int `json:"rank_hi,omitempty"`
+
+	// Spec carries the full app configuration (submit, prepare).
+	Spec *AppSpec `json:"spec,omitempty"`
+	// Kernels carries per-graph kernel overrides for one run, in graph
+	// order (run).
+	Kernels []KernelSpec `json:"kernels,omitempty"`
+
+	// Addr is the data address a worker's mesh listener is bound to
+	// (prepared).
+	Addr string `json:"addr,omitempty"`
+	// Addrs maps every rank to the data address of its hosting worker
+	// (connect).
+	Addrs []string `json:"addrs,omitempty"`
+
+	// ElapsedNanos is the measured wall time of a run (result, done).
+	ElapsedNanos int64 `json:"elapsed_nanos,omitempty"`
+	// Workers is the rank count a completed job actually ran on (done).
+	Workers int `json:"workers,omitempty"`
+
+	// Err carries a failure through prepared, ready, result and done.
+	Err string `json:"err,omitempty"`
+}
+
+// WriteMessage frames one message onto w: compact JSON followed by a
+// newline, the streaming-friendly counterpart of the spec files'
+// indented Encode. Callers serialize concurrent writers.
+func WriteMessage(w io.Writer, m Message) error {
+	m.V = ProtoVersion
+	return json.NewEncoder(w).Encode(m)
+}
+
+// ReadMessage decodes the next message from dec (one *json.Decoder per
+// connection, so buffered bytes are not lost between reads). Unknown
+// fields are ignored — newer same-major peers may say more — but a
+// newer major version is an error, not a misread.
+func ReadMessage(dec *json.Decoder) (Message, error) {
+	var m Message
+	if err := dec.Decode(&m); err != nil {
+		return Message{}, err
+	}
+	if m.V > ProtoVersion {
+		return Message{}, fmt.Errorf("wire: message version %d newer than supported %d", m.V, ProtoVersion)
+	}
+	if m.Type == "" {
+		return Message{}, fmt.Errorf("wire: message without type")
+	}
+	return m, nil
+}
+
+// ShapeKey canonicalizes the structural part of a spec — everything
+// except the kernel configurations — as a comparable string. Two jobs
+// with equal shape keys can share one prepared cluster configuration
+// (plans, payload rows, connection mesh), the cross-request analog of
+// the reusable RankSession.
+func ShapeKey(spec AppSpec) string {
+	shape := spec
+	shape.Graphs = make([]GraphSpec, len(spec.Graphs))
+	for i, g := range spec.Graphs {
+		g.Kernel = ""
+		g.Iterations = 0
+		g.SpanBytes = 0
+		g.WaitNanos = 0
+		g.Imbalance = 0
+		shape.Graphs[i] = g
+	}
+	b, err := json.Marshal(shape)
+	if err != nil {
+		// AppSpec contains only marshalable fields; this is unreachable.
+		panic(fmt.Sprintf("wire: shape key: %v", err))
+	}
+	return string(b)
+}
+
+// KernelsOf extracts the per-graph kernel configurations of a spec, in
+// graph order — the payload of a run message.
+func KernelsOf(spec AppSpec) []KernelSpec {
+	ks := make([]KernelSpec, len(spec.Graphs))
+	for i, g := range spec.Graphs {
+		ks[i] = KernelSpec{
+			Kernel:     g.Kernel,
+			Iterations: g.Iterations,
+			SpanBytes:  g.SpanBytes,
+			WaitNanos:  g.WaitNanos,
+			Imbalance:  g.Imbalance,
+		}
+	}
+	return ks
+}

@@ -602,8 +602,8 @@ func BenchmarkMETGRealBackends(b *testing.B) {
 			}
 			peak := cal.FlopsPerSecondPerCore * float64(run(1).Workers)
 			for i := 0; i < b.N; i++ {
-				m, _, ok := metg.Search(run, 1<<13, peak, 0, 0.5, 1)
-				if ok && i == b.N-1 {
+				m, _, kind := metg.Search(run, 1<<13, peak, 0, 0.5, 1)
+				if kind.Reached() && i == b.N-1 {
 					b.ReportMetric(float64(m.Nanoseconds())/1e3, "METG-µs")
 				}
 			}

@@ -207,16 +207,23 @@ func run() (code int) {
 		}
 	}
 
-	value, points, ok := metg.Search(runner, top, peak, 0, *threshold, *density)
+	value, points, kind := metg.Search(runner, top, peak, 0, *threshold, *density)
 	fmt.Printf("%-12s %-14s %-10s\n", "iterations", "granularity", "efficiency")
 	for _, pt := range points {
 		fmt.Printf("%-12d %-14v %-10.3f\n", pt.Iterations, pt.Granularity.Round(time.Nanosecond), pt.Efficiency)
 	}
-	if !ok {
+	switch kind {
+	case metg.Measured:
+		fmt.Printf("METG(%.0f%%) = %v\n", *threshold*100, value.Round(time.Nanosecond))
+	case metg.UpperBound:
+		// Every measured point stayed above the threshold, so the
+		// smallest observed granularity only bounds METG from above.
+		fmt.Printf("METG(%.0f%%) ≤ %v (upper bound: curve never dropped below threshold)\n",
+			*threshold*100, value.Round(time.Nanosecond))
+	default:
 		fmt.Printf("METG(%.0f%%): never reached\n", *threshold*100)
 		return 1
 	}
-	fmt.Printf("METG(%.0f%%) = %v\n", *threshold*100, value.Round(time.Nanosecond))
 	return 0
 }
 

@@ -7,9 +7,14 @@
 //
 // Clients submit wire.AppSpec jobs to the coordinator — interactively
 // with `metg -cluster host:7580`, or programmatically through
-// internal/cluster.Client. Jobs with the same graph shape share one
-// prepared configuration (plans, payload rows, live TCP mesh) across
-// requests, so sweeps pay mesh establishment once.
+// internal/cluster.Client. The scheduler runs up to -concurrency jobs
+// at once (different shapes overlap across the fleet; same-shape jobs
+// pipeline over their shared prepared configuration), re-runs jobs
+// whose workers died up to -retries times, and rejects submissions
+// immediately once the -queue deep backlog is full. Jobs with the same
+// graph shape share one prepared configuration (plans, payload rows,
+// live TCP mesh) across requests, so sweeps pay mesh establishment
+// once.
 package main
 
 import (
@@ -52,6 +57,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   taskbenchd coordinator [-listen addr] [-heartbeat d] [-timeout d] [-job-timeout d]
+                         [-concurrency n] [-retries n] [-queue n]
   taskbenchd worker -coordinator addr [-name s] [-advertise host]`)
 }
 
@@ -61,14 +67,24 @@ func runCoordinator(args []string) error {
 	heartbeat := fs.Duration("heartbeat", time.Second, "worker heartbeat interval")
 	timeout := fs.Duration("timeout", 5*time.Second, "heartbeat timeout declaring a worker dead")
 	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job run timeout")
+	concurrency := fs.Int("concurrency", 4, "scheduler slots: jobs that may run across the fleet at once")
+	retries := fs.Int("retries", 2, "re-runs per job when workers die mid-run (0 disables retry)")
+	queue := fs.Int("queue", 64, "job queue depth; submissions beyond it are rejected immediately")
 	fs.Parse(args)
+	if *retries < 0 {
+		*retries = 0
+	}
 
 	coord, err := cluster.Start(cluster.Options{
 		Listen:            *listen,
 		HeartbeatInterval: *heartbeat,
 		HeartbeatTimeout:  *timeout,
 		JobTimeout:        *jobTimeout,
-		Logf:              log.Printf,
+		Concurrency:       *concurrency,
+		// -retries counts RE-runs; MaxAttempts counts total runs.
+		MaxAttempts: *retries + 1,
+		QueueDepth:  *queue,
+		Logf:        log.Printf,
 	})
 	if err != nil {
 		return err

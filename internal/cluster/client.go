@@ -5,24 +5,36 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taskbench/internal/core"
 	"taskbench/internal/wire"
 )
 
-// Client submits jobs to a coordinator and reads the streamed results.
-// A client holds one control connection; Submit calls are serialized
-// on it by an internal mutex (the coordinator runs jobs through a
-// queue anyway), so a Client is safe for concurrent use.
+// Client submits jobs to a coordinator over one control connection.
+// Submissions pipeline: many jobs may be in flight at once (the
+// coordinator matches done replies by job id), so a Client is safe —
+// and useful — for concurrent use. A background read loop demultiplexes
+// replies to the per-submission Pending handles.
 type Client struct {
-	mu sync.Mutex
 	mc *msgConn
+
+	// subMu serializes submissions so the fifo order below matches the
+	// order submits hit the wire; the read loop never takes it.
+	subMu sync.Mutex
+
+	mu      sync.Mutex
+	err     error               // sticky protocol failure
+	fifo    []*Pending          // submitted, awaiting accepted/rejected (reply order = submit order)
+	byID    map[uint64]*Pending // accepted, awaiting done (matched by job id)
+	started bool
 
 	// statsApp caches the app rebuilt for client-side statistics: an
 	// METG sweep submits the same shape per point, and the cached
 	// graphs keep their memoized dependence totals warm instead of
 	// re-deriving the relation at every point.
+	statsMu  sync.Mutex
 	statsKey string
 	statsApp *core.App
 }
@@ -35,9 +47,48 @@ type JobResult struct {
 	Elapsed time.Duration
 	// Workers is the rank count the job ran on.
 	Workers int
-	// Err is the job-level failure, if any (a dead worker, a
-	// validation error, an unprovisionable configuration).
+	// Rejected reports that the job never ran: the coordinator refused
+	// it at admission (full queue, invalid spec), with the reason in
+	// Err. A queue-full rejection is immediate — the fast signal to
+	// back off and resubmit, rather than blocking behind the backlog.
+	Rejected bool
+	// Err is the job-level failure, if any (a dead worker after all
+	// retry attempts, a validation error, a rejection, a cancellation).
 	Err error
+}
+
+// Pending is one in-flight submission.
+type Pending struct {
+	cli          *Client
+	ch           chan pendingOutcome
+	id           atomic.Uint64
+	cancelWanted atomic.Bool
+}
+
+type pendingOutcome struct {
+	res JobResult
+	err error
+}
+
+// Wait blocks until the job completes, is rejected, or the connection
+// fails. The error return covers protocol failures (lost coordinator);
+// job-level failures come back in JobResult.Err so callers can
+// distinguish "the run failed" from "the cluster is gone".
+func (p *Pending) Wait() (JobResult, error) {
+	out := <-p.ch
+	return out.res, out.err
+}
+
+// Cancel asks the coordinator to abandon the job: a queued job is
+// dropped, a running one is aborted and its workers released.
+// Best-effort — the job may complete first.
+func (p *Pending) Cancel() {
+	p.cancelWanted.Store(true)
+	if id := p.id.Load(); id != 0 {
+		p.cli.mc.write(wire.Message{Type: wire.MsgCancel, Job: id})
+	}
+	// If the accepted reply has not arrived yet, the read loop sends
+	// the cancel as soon as it learns the job id.
 }
 
 // Dial connects to a coordinator's control address.
@@ -46,47 +97,138 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
-	return &Client{mc: newMsgConn(conn)}, nil
+	return &Client{mc: newMsgConn(conn), byID: map[uint64]*Pending{}}, nil
 }
 
-// Close releases the control connection.
+// Close releases the control connection. In-flight submissions fail
+// with a protocol error; coordinator-side, they are cancelled by the
+// disconnect.
 func (c *Client) Close() { c.mc.close() }
 
-// Submit queues one job and blocks until it completes, reading the
-// streamed accepted/done pair. The error return covers protocol
-// failures (lost coordinator); job-level failures come back in
-// JobResult.Err so callers can distinguish "the run failed" from "the
-// cluster is gone".
-func (c *Client) Submit(spec wire.AppSpec) (JobResult, error) {
+// SubmitAsync queues one job without waiting for it, so a connection
+// can pipeline many jobs — the coordinator runs compatible shapes
+// concurrently across the fleet. The returned Pending resolves when
+// the coordinator rejects or finishes the job.
+func (c *Client) SubmitAsync(spec wire.AppSpec) (*Pending, error) {
+	p := &Pending{cli: c, ch: make(chan pendingOutcome, 1)}
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.submit(spec)
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if !c.started {
+		c.started = true
+		go c.readLoop()
+	}
+	c.fifo = append(c.fifo, p)
+	c.mu.Unlock()
+	if err := c.mc.write(wire.Message{Type: wire.MsgSubmit, Spec: &spec}); err != nil {
+		c.mu.Lock()
+		for i, q := range c.fifo {
+			if q == p {
+				c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+				break
+			}
+		}
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: submit: %w", err)
+	}
+	return p, nil
 }
 
-func (c *Client) submit(spec wire.AppSpec) (JobResult, error) {
-	if err := c.mc.write(wire.Message{Type: wire.MsgSubmit, Spec: &spec}); err != nil {
-		return JobResult{}, fmt.Errorf("cluster: submit: %w", err)
+// Submit queues one job and blocks until it completes or is rejected.
+func (c *Client) Submit(spec wire.AppSpec) (JobResult, error) {
+	p, err := c.SubmitAsync(spec)
+	if err != nil {
+		return JobResult{}, err
 	}
-	var res JobResult
+	return p.Wait()
+}
+
+// readLoop demultiplexes coordinator replies: accepted and rejected
+// are matched to submissions in order (the coordinator answers every
+// submit immediately), done is matched to its accepted job by id.
+func (c *Client) readLoop() {
 	for {
 		m, err := c.mc.read()
 		if err != nil {
-			return JobResult{}, fmt.Errorf("cluster: coordinator connection: %w", err)
+			c.failAll(fmt.Errorf("cluster: coordinator connection: %w", err))
+			return
 		}
 		switch m.Type {
 		case wire.MsgAccepted:
-			res.Job = m.Job
+			c.mu.Lock()
+			p := c.popFIFO()
+			if p != nil {
+				c.byID[m.Job] = p
+			}
+			c.mu.Unlock()
+			if p != nil {
+				p.id.Store(m.Job)
+				if p.cancelWanted.Load() {
+					c.mc.write(wire.Message{Type: wire.MsgCancel, Job: m.Job})
+				}
+			}
+		case wire.MsgRejected:
+			c.mu.Lock()
+			p := c.popFIFO()
+			c.mu.Unlock()
+			if p != nil {
+				p.ch <- pendingOutcome{res: JobResult{Job: m.Job, Rejected: true, Err: errors.New(m.Err)}}
+			}
 		case wire.MsgDone:
-			res.Job = m.Job
-			res.Elapsed = time.Duration(m.ElapsedNanos)
-			res.Workers = m.Workers
+			c.mu.Lock()
+			p := c.byID[m.Job]
+			delete(c.byID, m.Job)
+			c.mu.Unlock()
+			if p == nil {
+				// Every done must name an accepted job; matching a
+				// stray one against the FIFO instead would resolve an
+				// unrelated submission with the wrong result.
+				c.failAll(fmt.Errorf("cluster: done for unknown job %d", m.Job))
+				return
+			}
+			res := JobResult{Job: m.Job, Elapsed: time.Duration(m.ElapsedNanos), Workers: m.Workers}
 			if m.Err != "" {
 				res.Err = errors.New(m.Err)
 			}
-			return res, nil
+			p.ch <- pendingOutcome{res: res}
 		default:
-			return JobResult{}, fmt.Errorf("cluster: unexpected %q from coordinator", m.Type)
+			c.failAll(fmt.Errorf("cluster: unexpected %q from coordinator", m.Type))
+			return
 		}
+	}
+}
+
+// popFIFO removes and returns the oldest submission still awaiting its
+// accepted/rejected reply. Callers hold c.mu.
+func (c *Client) popFIFO() *Pending {
+	if len(c.fifo) == 0 {
+		return nil
+	}
+	p := c.fifo[0]
+	c.fifo = c.fifo[1:]
+	return p
+}
+
+// failAll resolves every in-flight submission with a protocol error
+// and poisons the client for further submits.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	c.err = err
+	pending := make([]*Pending, 0, len(c.fifo)+len(c.byID))
+	pending = append(pending, c.fifo...)
+	for _, p := range c.byID {
+		pending = append(pending, p)
+	}
+	c.fifo = nil
+	c.byID = map[uint64]*Pending{}
+	c.mu.Unlock()
+	for _, p := range pending {
+		p.ch <- pendingOutcome{err: err}
 	}
 }
 
@@ -96,41 +238,43 @@ func (c *Client) submit(spec wire.AppSpec) (JobResult, error) {
 // expected flops) are derived client-side from the spec; the cluster
 // contributes the measured wall time and rank count.
 func (c *Client) Run(spec wire.AppSpec) (core.RunStats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	app, err := c.appFor(spec)
+	// The static stats are snapshotted before the submission, under the
+	// cache lock: a concurrent Run with a different kernel must not see
+	// this call's kernel mutation on the shared cached app.
+	stats, err := c.statsFor(spec)
 	if err != nil {
 		return core.RunStats{}, err
 	}
-	res, err := c.submit(spec)
+	res, err := c.Submit(spec)
 	if err != nil {
 		return core.RunStats{}, err
 	}
-	stats := core.StatsFor(app)
 	stats.Elapsed = res.Elapsed
 	stats.Workers = res.Workers
 	return stats, res.Err
 }
 
-// appFor returns the app for client-side statistics, reusing the
+// statsFor computes the spec's static run statistics, reusing the
 // cached graphs when only the kernels changed (the sweep case) so the
-// shape-static totals stay memoized. Callers hold c.mu.
-func (c *Client) appFor(spec wire.AppSpec) (*core.App, error) {
+// shape-static totals stay memoized.
+func (c *Client) statsFor(spec wire.AppSpec) (core.RunStats, error) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
 	key := wire.ShapeKey(spec)
 	if c.statsApp != nil && c.statsKey == key {
 		for gi, ks := range wire.KernelsOf(spec) {
 			k, err := ks.ToConfig()
 			if err != nil {
-				return nil, err
+				return core.RunStats{}, err
 			}
 			c.statsApp.Graphs[gi].Kernel = k
 		}
-		return c.statsApp, nil
+		return core.StatsFor(c.statsApp), nil
 	}
 	app, err := spec.ToApp()
 	if err != nil {
-		return nil, err
+		return core.RunStats{}, err
 	}
 	c.statsKey, c.statsApp = key, app
-	return app, nil
+	return core.StatsFor(app), nil
 }

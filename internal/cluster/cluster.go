@@ -16,25 +16,41 @@
 // cross-request analog of the reusable exec.RankSession (so a
 // distributed METG sweep pays mesh establishment once, not per point).
 //
+// Scheduling is concurrent: a bounded pool of scheduler slots
+// (Options.Concurrency) claims queued jobs, so jobs of different
+// shapes overlap across the fleet while jobs sharing a shape pipeline
+// one at a time over their shared prepared configuration (a per-shape
+// run lock — the mesh and payload rows are single-run state). A full
+// queue rejects new submissions immediately instead of blocking the
+// submitter, and one client connection may have many jobs in flight
+// (done replies are matched by job id).
+//
 // Failure semantics: workers heartbeat on the control connection; a
 // missed-heartbeat timeout or a control-connection error declares a
-// worker dead. Death fails its in-flight job with an error (never a
-// hang: surviving workers' mesh transports abort, unblocking every
-// pending receive), drops every configuration the worker participated
-// in, and leaves the job queue running on the surviving fleet.
+// worker dead. Death aborts its in-flight jobs cleanly (never a hang:
+// surviving workers' mesh transports abort, unblocking every pending
+// receive), drops every configuration the worker participated in, and
+// the affected jobs are automatically retried — re-provisioned over
+// the reshaped fleet, with an attempt counter on the wire so a stale
+// run's late result is discarded — up to Options.MaxAttempts. A client
+// that disconnects (or sends cancel) has its in-flight jobs cancelled,
+// releasing the workers they occupied.
 //
 // The protocol state machine per worker:
 //
 //	register → welcome → { heartbeat | prepare→prepared |
 //	                       connect→ready | run→result | release }*
 //
-// and per client: submit → accepted → done, repeated per job.
+// and per client: submit → accepted|rejected, with one done per
+// accepted job (any order, matched by id) and cancel available for
+// accepted jobs.
 package cluster
 
 import (
 	"encoding/json"
 	"net"
 	"sync"
+	"time"
 
 	"taskbench/internal/wire"
 )
@@ -42,10 +58,16 @@ import (
 // msgConn frames wire.Messages over one TCP connection: newline-
 // delimited JSON with a persistent decoder (so buffered bytes survive
 // between reads) and a write mutex (heartbeats and replies interleave).
+// A nonzero writeTimeout bounds each write: the coordinator arms it on
+// accepted connections so a peer that stops draining its socket (a
+// SIGSTOPped client, say) turns into a write error — freeing the
+// scheduler slot delivering to it — instead of a goroutine parked in
+// write forever.
 type msgConn struct {
-	conn net.Conn
-	dec  *json.Decoder
-	wmu  sync.Mutex
+	conn         net.Conn
+	dec          *json.Decoder
+	wmu          sync.Mutex
+	writeTimeout time.Duration
 }
 
 func newMsgConn(conn net.Conn) *msgConn {
@@ -59,6 +81,9 @@ func (c *msgConn) read() (wire.Message, error) {
 func (c *msgConn) write(m wire.Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
 	return wire.WriteMessage(c.conn, m)
 }
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -9,18 +10,23 @@ import (
 	"taskbench/internal/wire"
 )
 
-// testFleet starts a coordinator and n in-process workers (each its
-// own control connection and data listeners — only the address space
-// is shared) and waits until all have registered.
-func testFleet(t *testing.T, n int) (*Coordinator, []*Worker) {
+// testFleetOpts starts a coordinator (with mut applied to the test
+// defaults) and n in-process workers (each its own control connection
+// and data listeners — only the address space is shared) and waits
+// until all have registered.
+func testFleetOpts(t *testing.T, n int, mut func(*Options)) (*Coordinator, []*Worker) {
 	t.Helper()
-	coord, err := Start(Options{
+	opts := Options{
 		HeartbeatInterval: 50 * time.Millisecond,
 		HeartbeatTimeout:  500 * time.Millisecond,
 		SetupTimeout:      20 * time.Second,
 		JobTimeout:        60 * time.Second,
 		Logf:              t.Logf,
-	})
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	coord, err := Start(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,6 +47,11 @@ func testFleet(t *testing.T, n int) (*Coordinator, []*Worker) {
 	return coord, workers
 }
 
+func testFleet(t *testing.T, n int) (*Coordinator, []*Worker) {
+	t.Helper()
+	return testFleetOpts(t, n, nil)
+}
+
 func stencilSpec(ranks int, iterations int64) wire.AppSpec {
 	return wire.AppSpec{
 		Workers: ranks,
@@ -49,6 +60,36 @@ func stencilSpec(ranks int, iterations int64) wire.AppSpec {
 			Kernel: "compute_bound", Iterations: iterations,
 			Output: 128,
 		}},
+	}
+}
+
+// busySpec is a deliberately slow job: steps timesteps of perTask
+// busy-wait columns, sized so tests can observe (or interrupt) it
+// mid-run.
+func busySpec(ranks, width, steps int, perTask time.Duration) wire.AppSpec {
+	return wire.AppSpec{
+		Workers: ranks,
+		Graphs: []wire.GraphSpec{{
+			Steps: steps, Width: width, Type: "stencil_1d_periodic",
+			Kernel: "busy_wait", WaitNanos: int64(perTask),
+			Output: 64,
+		}},
+	}
+}
+
+// waitStats polls the coordinator until cond holds, failing the test
+// at the deadline.
+func waitStats(t *testing.T, coord *Coordinator, what string, timeout time.Duration, cond func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond(coord.Stats()) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; stats %+v", what, coord.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -110,8 +151,8 @@ func TestClusterReusesConfigAcrossJobs(t *testing.T) {
 	}
 }
 
-// TestClusterConcurrentClients queues submissions from several client
-// connections at once; the scheduler serializes them without loss.
+// TestClusterConcurrentClients submits from several client connections
+// at once; the scheduler completes them all without loss.
 func TestClusterConcurrentClients(t *testing.T) {
 	coord, _ := testFleet(t, 2)
 	const clients = 4
@@ -142,11 +183,89 @@ func TestClusterConcurrentClients(t *testing.T) {
 	}
 }
 
-// TestClusterWorkerDeathFailsJobCleanly kills a worker mid-run and
-// requires (a) the in-flight job to fail with an error, not hang, and
-// (b) the queue to keep serving jobs on the surviving fleet.
+// TestClusterJobsOverlapAcrossShapes is the concurrent scheduler's
+// core claim: two jobs of different shapes, pipelined down one client
+// connection, execute on the 4-worker fleet at the same time instead
+// of serializing behind a single run loop.
+func TestClusterJobsOverlapAcrossShapes(t *testing.T) {
+	coord, _ := testFleet(t, 4)
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	shapeA := busySpec(4, 4, 800, time.Millisecond)
+	shapeB := busySpec(4, 8, 800, time.Millisecond)
+	shapeB.Graphs[0].Type = "fft"
+
+	pa, err := cli.SubmitAsync(shapeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := cli.SubmitAsync(shapeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both jobs must be observed EXECUTING simultaneously.
+	waitStats(t, coord, "2 jobs running concurrently", 15*time.Second, func(s Stats) bool {
+		return s.JobsRunning >= 2
+	})
+	for name, p := range map[string]*Pending{"A": pa, "B": pb} {
+		res, err := p.Wait()
+		if err != nil {
+			t.Fatalf("job %s: protocol error: %v", name, err)
+		}
+		if res.Err != nil {
+			t.Errorf("job %s failed: %v", name, res.Err)
+		}
+	}
+	if st := coord.Stats(); st.JobsRun != 2 || st.JobsFailed != 0 {
+		t.Errorf("jobs run/failed = %d/%d, want 2/0", st.JobsRun, st.JobsFailed)
+	}
+}
+
+// TestClusterPipelinedSubmissionsShareConfig pipelines several
+// same-shape jobs down one connection before any completes: they
+// serialize on the shape's run lock but reuse the one prepared
+// configuration, never re-provisioning.
+func TestClusterPipelinedSubmissionsShareConfig(t *testing.T) {
+	coord, _ := testFleet(t, 2)
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var pending []*Pending
+	for _, iters := range []int64{64, 16, 4} {
+		p, err := cli.SubmitAsync(stencilSpec(4, iters))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, p)
+	}
+	for k, p := range pending {
+		res, err := p.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", k, err)
+		}
+		if res.Err != nil {
+			t.Errorf("job %d failed: %v", k, res.Err)
+		}
+	}
+	st := coord.Stats()
+	if st.ConfigsBuilt != 1 || st.ConfigsReused != 2 {
+		t.Errorf("configs built/reused = %d/%d, want 1/2", st.ConfigsBuilt, st.ConfigsReused)
+	}
+}
+
+// TestClusterWorkerDeathFailsJobCleanly kills a worker mid-run with
+// retry disabled and requires (a) the in-flight job to fail with an
+// error, not hang, and (b) the queue to keep serving jobs on the
+// surviving fleet.
 func TestClusterWorkerDeathFailsJobCleanly(t *testing.T) {
-	coord, workers := testFleet(t, 3)
+	coord, workers := testFleetOpts(t, 3, func(o *Options) { o.MaxAttempts = 1 })
 	cli, err := Dial(coord.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -155,33 +274,30 @@ func TestClusterWorkerDeathFailsJobCleanly(t *testing.T) {
 
 	// A deliberately long job: 6 ranks × 2000 steps of 1ms busy-wait
 	// columns gives seconds of runtime to kill a worker in.
-	long := wire.AppSpec{
-		Workers: 6,
-		Graphs: []wire.GraphSpec{{
-			Steps: 2000, Width: 6, Type: "stencil_1d_periodic",
-			Kernel: "busy_wait", WaitNanos: int64(time.Millisecond),
-			Output: 64,
-		}},
+	long := busySpec(6, 6, 2000, time.Millisecond)
+	p, err := cli.SubmitAsync(long)
+	if err != nil {
+		t.Fatal(err)
 	}
+	time.Sleep(400 * time.Millisecond)
+	workers[1].Close() // the "crash": control conn drops, sessions abort
+
 	type outcome struct {
 		res JobResult
 		err error
 	}
 	resCh := make(chan outcome, 1)
 	go func() {
-		res, err := cli.Submit(long)
+		res, err := p.Wait()
 		resCh <- outcome{res, err}
 	}()
-	time.Sleep(400 * time.Millisecond)
-	workers[1].Close() // the "crash": control conn drops, sessions abort
-
 	select {
 	case out := <-resCh:
 		if out.err != nil {
 			t.Fatalf("protocol error instead of job error: %v", out.err)
 		}
 		if out.res.Err == nil {
-			t.Fatal("job succeeded despite killed worker")
+			t.Fatal("job succeeded despite killed worker and disabled retry")
 		}
 		t.Logf("job failed as expected: %v", out.res.Err)
 	case <-time.After(30 * time.Second):
@@ -204,12 +320,245 @@ func TestClusterWorkerDeathFailsJobCleanly(t *testing.T) {
 	if stats.Workers != 4 {
 		t.Errorf("post-death workers = %d, want 4", stats.Workers)
 	}
-	if st := coord.Stats(); st.JobsFailed != 1 {
-		t.Errorf("jobs failed = %d, want 1", st.JobsFailed)
+	if st := coord.Stats(); st.JobsFailed != 1 || st.JobsRetried != 0 {
+		t.Errorf("jobs failed/retried = %d/%d, want 1/0", st.JobsFailed, st.JobsRetried)
 	}
 }
 
-// TestClusterRejectsBadSpec exercises coordinator-side validation.
+// TestClusterRetriesAfterWorkerDeath kills a worker mid-run with the
+// default retry budget: the job must be re-provisioned over the
+// reshaped two-worker fleet and COMPLETE, not fail.
+func TestClusterRetriesAfterWorkerDeath(t *testing.T) {
+	coord, workers := testFleet(t, 3)
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	long := busySpec(6, 6, 1200, time.Millisecond)
+	p, err := cli.SubmitAsync(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, coord, "job running", 10*time.Second, func(s Stats) bool { return s.JobsRunning >= 1 })
+	time.Sleep(200 * time.Millisecond)
+	workers[1].Close() // crash mid-run
+
+	res, err := p.Wait()
+	if err != nil {
+		t.Fatalf("protocol error: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("job failed despite retry: %v", res.Err)
+	}
+	if res.Workers != 6 {
+		t.Errorf("workers = %d, want 6 (same rank count on the reshaped fleet)", res.Workers)
+	}
+	st := coord.Stats()
+	if st.JobsRetried < 1 {
+		t.Errorf("jobs retried = %d, want >= 1", st.JobsRetried)
+	}
+	if st.JobsFailed != 0 || st.JobsRun != 1 {
+		t.Errorf("jobs run/failed = %d/%d, want 1/0", st.JobsRun, st.JobsFailed)
+	}
+}
+
+// TestClusterQueueFullRejectsFast fills the one-deep queue behind a
+// busy one-slot scheduler: the next submission must get an immediate
+// rejected reply, not block until capacity frees up.
+func TestClusterQueueFullRejectsFast(t *testing.T) {
+	coord, _ := testFleetOpts(t, 1, func(o *Options) {
+		o.QueueDepth = 1
+		o.Concurrency = 1
+	})
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	pa, err := cli.SubmitAsync(busySpec(1, 2, 1000, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the slot to claim job A so job B definitely queues.
+	waitStats(t, coord, "job A in flight", 10*time.Second, func(s Stats) bool { return s.JobsInFlight >= 1 })
+	pb, err := cli.SubmitAsync(stencilSpec(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	pc, err := cli.SubmitAsync(stencilSpec(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pc.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("rejection took %v, want immediate", waited)
+	}
+	if !res.Rejected || res.Err == nil || !strings.Contains(res.Err.Error(), "queue full") {
+		t.Fatalf("want fast queue-full rejection, got %+v", res)
+	}
+	if st := coord.Stats(); st.JobsRejected != 1 {
+		t.Errorf("jobs rejected = %d, want 1", st.JobsRejected)
+	}
+	for name, p := range map[string]*Pending{"A": pa, "B": pb} {
+		if res, err := p.Wait(); err != nil || res.Err != nil {
+			t.Errorf("job %s: %v / %v", name, err, res.Err)
+		}
+	}
+}
+
+// TestClusterClientDisconnectCancelsQueuedJob is the regression test
+// for the lost accepted ack: a job whose client vanished right after
+// submitting must be cancelled, not run over the whole fleet for
+// nobody. The scheduler slot is kept busy so the orphaned job is
+// discovered in the queue.
+func TestClusterClientDisconnectCancelsQueuedJob(t *testing.T) {
+	coord, _ := testFleetOpts(t, 2, func(o *Options) { o.Concurrency = 1 })
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	pa, err := cli.SubmitAsync(busySpec(2, 2, 800, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, coord, "job A in flight", 10*time.Second, func(s Stats) bool { return s.JobsInFlight >= 1 })
+
+	// A raw client: submit a job of a shape nobody else uses, then
+	// vanish without reading a single reply.
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := stencilSpec(2, 32)
+	orphan.Graphs[0].Width = 10 // a shape unique to the orphaned job
+	if err := wire.WriteMessage(conn, wire.Message{Type: wire.MsgSubmit, Spec: &orphan}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	if res, err := pa.Wait(); err != nil || res.Err != nil {
+		t.Fatalf("job A: %v / %v", err, res.Err)
+	}
+	waitStats(t, coord, "orphaned job cancelled", 10*time.Second, func(s Stats) bool {
+		return s.JobsCancelled == 1
+	})
+	st := coord.Stats()
+	if st.JobsRun != 1 {
+		t.Errorf("jobs run = %d, want 1 (the orphaned job must never run)", st.JobsRun)
+	}
+	if st.ConfigsBuilt != 1 {
+		t.Errorf("configs built = %d, want 1 (no fleet provisioning for the orphaned shape)", st.ConfigsBuilt)
+	}
+}
+
+// TestClusterCancelRunningJobReleasesFleet cancels a job mid-run: the
+// client gets a cancelled result and the workers are freed (the next
+// job of the same shape re-provisions and completes).
+func TestClusterCancelRunningJobReleasesFleet(t *testing.T) {
+	coord, _ := testFleet(t, 2)
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	long := busySpec(4, 4, 5000, time.Millisecond)
+	p, err := cli.SubmitAsync(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, coord, "job running", 10*time.Second, func(s Stats) bool { return s.JobsRunning >= 1 })
+	p.Cancel()
+	res, err := p.Wait()
+	if err != nil {
+		t.Fatalf("protocol error: %v", err)
+	}
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "cancel") {
+		t.Fatalf("want cancelled result, got %+v", res)
+	}
+	if st := coord.Stats(); st.JobsCancelled != 1 {
+		t.Errorf("jobs cancelled = %d, want 1", st.JobsCancelled)
+	}
+	// The fleet is free again: a quick same-shape job completes.
+	quick := busySpec(4, 4, 5, time.Millisecond)
+	if res, err := cli.Submit(quick); err != nil || res.Err != nil {
+		t.Fatalf("post-cancel job: %v / %v", err, res.Err)
+	}
+}
+
+// TestClusterConcurrentMixedShapes hammers the scheduler from several
+// pipelining clients with a mix of shapes — the race-detector workout
+// for slot/entry/cancellation bookkeeping.
+func TestClusterConcurrentMixedShapes(t *testing.T) {
+	coord, _ := testFleet(t, 4)
+	shapes := []wire.AppSpec{
+		stencilSpec(4, 32),
+		stencilSpec(8, 16),
+		{Workers: 4, Graphs: []wire.GraphSpec{{
+			Steps: 10, Width: 8, Type: "fft",
+			Kernel: "compute_bound", Iterations: 32, Output: 64,
+		}}},
+		{Workers: 2, Graphs: []wire.GraphSpec{{
+			Steps: 12, Width: 4, Type: "dom",
+			Kernel: "compute_bound", Iterations: 32, Output: 64,
+		}}},
+	}
+	const clients = 4
+	const perClient = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			cli, err := Dial(coord.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			var pending []*Pending
+			for i := 0; i < perClient; i++ {
+				p, err := cli.SubmitAsync(shapes[(k+i)%len(shapes)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				pending = append(pending, p)
+			}
+			for _, p := range pending {
+				res, err := p.Wait()
+				if err != nil {
+					errs <- err
+				} else if res.Err != nil {
+					errs <- res.Err
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := coord.Stats()
+	if st.JobsRun != clients*perClient || st.JobsFailed != 0 {
+		t.Errorf("jobs run/failed = %d/%d, want %d/0", st.JobsRun, st.JobsFailed, clients*perClient)
+	}
+}
+
+// TestClusterRejectsBadSpec exercises coordinator-side validation: an
+// invalid spec is rejected at admission, before touching the queue.
 func TestClusterRejectsBadSpec(t *testing.T) {
 	coord, _ := testFleet(t, 1)
 	cli, err := Dial(coord.Addr())
@@ -223,6 +572,9 @@ func TestClusterRejectsBadSpec(t *testing.T) {
 	}
 	if res.Err == nil || !strings.Contains(res.Err.Error(), "spec") {
 		t.Fatalf("bad spec accepted: %v", res.Err)
+	}
+	if !res.Rejected {
+		t.Error("bad spec should be reported as rejected at admission")
 	}
 }
 
@@ -273,5 +625,44 @@ func TestClusterNoWorkers(t *testing.T) {
 	}
 	if res.Err == nil || !strings.Contains(res.Err.Error(), "no workers") {
 		t.Fatalf("want no-workers error, got %v", res.Err)
+	}
+}
+
+// TestWaitWorkersDeadline pins the WaitWorkers contract: a zero
+// timeout checks the fleet exactly once (no 10ms poll tick), a
+// satisfied wait returns immediately, and a registration wakes a
+// blocked waiter without polling.
+func TestWaitWorkersDeadline(t *testing.T) {
+	coord, err := Start(Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	if got, err := coord.WaitWorkers(0, 0); got != 0 || err != nil {
+		t.Errorf("WaitWorkers(0, 0) = %d, %v; want 0, nil", got, err)
+	}
+	start := time.Now()
+	if _, err := coord.WaitWorkers(1, 0); err == nil {
+		t.Error("WaitWorkers(1, 0) succeeded with an empty fleet")
+	}
+	if waited := time.Since(start); waited > 100*time.Millisecond {
+		t.Errorf("WaitWorkers(1, 0) waited %v, want an immediate return", waited)
+	}
+
+	// A blocked waiter wakes on registration, well before its timeout.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		w := NewWorker(WorkerOptions{Coordinator: coord.Addr(), Name: "late"})
+		t.Cleanup(w.Close)
+		w.Run()
+	}()
+	start = time.Now()
+	got, err := coord.WaitWorkers(1, 30*time.Second)
+	if err != nil || got != 1 {
+		t.Fatalf("WaitWorkers(1, 30s) = %d, %v", got, err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Errorf("waiter woke after %v, want promptly after registration", waited)
 	}
 }

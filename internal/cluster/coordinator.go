@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -27,8 +28,21 @@ type Options struct {
 	// no-hang guarantee behind the heartbeat machinery.
 	JobTimeout time.Duration
 	// QueueDepth is the job queue capacity; default 64. Submissions
-	// beyond it block the submitting client, not the coordinator.
+	// beyond it are rejected immediately (a fast `rejected` reply)
+	// instead of blocking the submitter behind the backlog.
 	QueueDepth int
+	// Concurrency is the number of scheduler slots — jobs that may be
+	// in flight across the fleet at once; default 4. Jobs of different
+	// shapes run concurrently on their own configurations; jobs sharing
+	// a shape serialize on that shape's run lock (the prepared mesh is
+	// single-run state) but pipeline over it without re-provisioning.
+	Concurrency int
+	// MaxAttempts bounds how many times one job may run; default 3. A
+	// job whose attempt fails because a worker died (not because its
+	// spec or run is invalid) is re-run with the configuration
+	// re-provisioned over the reshaped fleet, up to this many attempts.
+	// 1 disables retry.
+	MaxAttempts int
 	// Logf, when set, receives coordinator lifecycle logging.
 	Logf func(format string, args ...any)
 }
@@ -52,6 +66,12 @@ func (o *Options) fill() {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
 	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -66,10 +86,26 @@ type Stats struct {
 	// ConfigsReused counts jobs that ran on an already-prepared
 	// configuration (the cross-request session-reuse win).
 	ConfigsReused int
-	// JobsRun counts completed jobs, successful or not.
+	// JobsRun counts completed jobs, successful or not. Cancelled jobs
+	// are counted under JobsCancelled instead.
 	JobsRun int
 	// JobsFailed counts jobs that completed with an error.
 	JobsFailed int
+	// JobsInFlight is the number of jobs currently claimed by scheduler
+	// slots (provisioning, waiting on a shape's run lock, or running).
+	JobsInFlight int
+	// JobsRunning is the number of jobs currently executing on the
+	// fleet — the overlap the concurrent scheduler exists for.
+	JobsRunning int
+	// JobsRetried counts re-runs after a worker death (one per extra
+	// attempt, not per job).
+	JobsRetried int
+	// JobsRejected counts submissions refused at admission: a full
+	// queue, an invalid spec, or a closing coordinator.
+	JobsRejected int
+	// JobsCancelled counts jobs abandoned before completion because
+	// their client disconnected or sent an explicit cancel.
+	JobsCancelled int
 }
 
 // Coordinator accepts worker registrations and client job submissions
@@ -78,14 +114,17 @@ type Coordinator struct {
 	opts Options
 	ln   net.Listener
 
-	mu         sync.Mutex
-	workers    map[int64]*workerConn
-	configs    map[string]*clusterConfig
-	conns      map[*msgConn]struct{} // every open control connection (workers and clients)
-	stats      Stats
-	nextWorker int64
-	nextConfig uint64
-	nextJob    uint64
+	mu           sync.Mutex
+	workers      map[int64]*workerConn
+	fleetChanged chan struct{} // closed and replaced on every registration/death
+	configs      map[string]*configEntry
+	conns        map[*msgConn]struct{} // every open control connection (workers and clients)
+	stats        Stats
+	inFlight     int
+	running      int
+	nextWorker   int64
+	nextConfig   uint64
+	nextJob      uint64
 
 	queue chan *job
 	done  chan struct{}
@@ -116,13 +155,74 @@ type clusterConfig struct {
 	ranks   int
 	members []*workerConn
 	spans   []exec.Span
+	// lost is set when a member died: a job that failed on this
+	// configuration may retry over the reshaped fleet.
+	lost atomic.Bool
 }
 
-// job is one queued client submission.
+// configEntry is the scheduler's per-shape slot: its run lock
+// serializes provisioning and runs of one shape (the prepared mesh and
+// payload rows are single-run state) while other shapes proceed
+// concurrently on their own entries. The lock is a 1-slot channel, not
+// a mutex, so a job waiting its turn can abandon the wait the moment
+// it is cancelled or the coordinator closes — a cancelled job must not
+// pin a scheduler slot for the length of its predecessors' runs.
+// active counts jobs currently holding (or waiting on) the run lock;
+// an entry may only leave the map once no job references it, or a
+// later same-shape job would mint a second run lock and break the
+// shape's mutual exclusion.
+type configEntry struct {
+	key  string
+	lock chan struct{} // buffered(1): send acquires, receive releases
+	// cfg and active are guarded by Coordinator.mu.
+	cfg    *clusterConfig
+	active int
+}
+
+// errWorkerLost marks failures caused by a worker leaving the fleet —
+// the retryable class, as opposed to invalid specs or run errors.
+var errWorkerLost = errors.New("worker lost")
+
+// errCancelled marks calls abandoned because their job was cancelled.
+var errCancelled = errors.New("job cancelled")
+
+// job is one accepted client submission.
 type job struct {
-	id    uint64
-	spec  wire.AppSpec
-	reply chan wire.Message
+	id      uint64
+	spec    wire.AppSpec
+	key     string
+	attempt int
+	client  *clientConn
+
+	// cancel fires when the job should stop occupying the fleet: the
+	// client disconnected, sent an explicit cancel, or the accepted ack
+	// could not be delivered. cancelReason is written before the close
+	// and read only after <-cancel.
+	cancel       chan struct{}
+	cancelOnce   sync.Once
+	cancelReason string
+
+	// acked closes once the accepted reply has been written (or its
+	// write has failed), so a fast job's done cannot overtake its own
+	// ack on the wire.
+	acked chan struct{}
+}
+
+func (j *job) cancelNow(reason string) {
+	j.cancelOnce.Do(func() {
+		j.cancelReason = reason
+		close(j.cancel)
+	})
+}
+
+// clientConn tracks one client control connection's in-flight jobs so
+// a disconnect can cancel all of them.
+type clientConn struct {
+	mc *msgConn
+
+	mu   sync.Mutex
+	jobs map[uint64]*job
+	gone bool
 }
 
 // Start launches a coordinator listening on opts.Listen.
@@ -133,19 +233,22 @@ func Start(opts Options) (*Coordinator, error) {
 		return nil, fmt.Errorf("cluster: listen %s: %w", opts.Listen, err)
 	}
 	c := &Coordinator{
-		opts:    opts,
-		ln:      ln,
-		workers: map[int64]*workerConn{},
-		configs: map[string]*clusterConfig{},
-		conns:   map[*msgConn]struct{}{},
-		queue:   make(chan *job, opts.QueueDepth),
-		done:    make(chan struct{}),
+		opts:         opts,
+		ln:           ln,
+		workers:      map[int64]*workerConn{},
+		fleetChanged: make(chan struct{}),
+		configs:      map[string]*configEntry{},
+		conns:        map[*msgConn]struct{}{},
+		queue:        make(chan *job, opts.QueueDepth),
+		done:         make(chan struct{}),
 	}
-	c.wg.Add(3)
+	c.wg.Add(2 + opts.Concurrency)
 	go c.acceptLoop()
-	go c.schedule()
 	go c.monitorHeartbeats()
-	opts.Logf("cluster: coordinator listening on %s", ln.Addr())
+	for i := 0; i < opts.Concurrency; i++ {
+		go c.scheduleSlot()
+	}
+	opts.Logf("cluster: coordinator listening on %s (%d scheduler slots)", ln.Addr(), opts.Concurrency)
 	return c, nil
 }
 
@@ -158,6 +261,8 @@ func (c *Coordinator) Stats() Stats {
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Workers = len(c.workers)
+	s.JobsInFlight = c.inFlight
+	s.JobsRunning = c.running
 	return s
 }
 
@@ -169,24 +274,43 @@ func (c *Coordinator) WorkerCount() int {
 }
 
 // WaitWorkers blocks until at least n workers are registered, the
-// timeout passes, or the coordinator closes. It returns the fleet size
-// observed last, and an error if that is still below n.
+// timeout passes, or the coordinator closes. Registrations and deaths
+// signal a fleet-change channel, so waiters wake the moment the fleet
+// reaches n (no polling) and a zero timeout checks the fleet exactly
+// once without waiting a tick. It returns the fleet size observed
+// last, and an error if that is still below n.
 func (c *Coordinator) WaitWorkers(n int, timeout time.Duration) (int, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		got := c.WorkerCount()
+		c.mu.Lock()
+		got := len(c.workers)
+		changed := c.fleetChanged
+		c.mu.Unlock()
 		if got >= n {
 			return got, nil
 		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return got, fmt.Errorf("cluster: %d of %d workers registered after %v", got, n, timeout)
+		}
+		timer := time.NewTimer(remain)
 		select {
 		case <-c.done:
+			timer.Stop()
 			return got, fmt.Errorf("cluster: coordinator closed with %d of %d workers", got, n)
-		case <-time.After(10 * time.Millisecond):
-		}
-		if time.Now().After(deadline) {
+		case <-changed:
+			timer.Stop()
+		case <-timer.C:
 			return c.WorkerCount(), fmt.Errorf("cluster: %d of %d workers registered after %v", c.WorkerCount(), n, timeout)
 		}
 	}
+}
+
+// bumpFleetLocked wakes WaitWorkers waiters after a fleet change.
+// Callers hold c.mu.
+func (c *Coordinator) bumpFleetLocked() {
+	close(c.fleetChanged)
+	c.fleetChanged = make(chan struct{})
 }
 
 // Close shuts the coordinator down: the listener closes, queued jobs
@@ -214,6 +338,12 @@ func (c *Coordinator) acceptLoop() {
 			return // listener closed
 		}
 		mc := newMsgConn(conn)
+		// Control messages are single JSON lines: a peer that cannot
+		// absorb one inside a minute has stopped reading. The deadline
+		// turns such a peer into a write error (its handler then drops
+		// the connection, cancelling its jobs) rather than a scheduler
+		// slot parked in write forever.
+		mc.writeTimeout = time.Minute
 		c.mu.Lock()
 		select {
 		case <-c.done:
@@ -277,6 +407,7 @@ func (c *Coordinator) serveWorker(mc *msgConn, reg wire.Message) {
 		w.name = fmt.Sprintf("worker-%d", w.id)
 	}
 	c.workers[w.id] = w
+	c.bumpFleetLocked()
 	c.mu.Unlock()
 
 	if err := mc.write(wire.Message{
@@ -304,7 +435,9 @@ func (c *Coordinator) serveWorker(mc *msgConn, reg wire.Message) {
 		case wire.MsgReady:
 			w.route(fmt.Sprintf("ready/%d", m.Config), m)
 		case wire.MsgResult:
-			w.route(fmt.Sprintf("result/%d", m.Job), m)
+			// Keyed by (job, attempt): a stale attempt's late result
+			// finds no waiter instead of satisfying the live attempt.
+			w.route(fmt.Sprintf("result/%d.%d", m.Job, m.Attempt), m)
 		default:
 			c.opts.Logf("cluster: worker %q sent unexpected %q", w.name, m.Type)
 		}
@@ -314,25 +447,38 @@ func (c *Coordinator) serveWorker(mc *msgConn, reg wire.Message) {
 // markDead declares a worker dead exactly once: it leaves the fleet,
 // every configuration it participated in is dropped (surviving members
 // are told to release, which aborts any wedged run), and any await on
-// it fails immediately.
+// it fails immediately. The fleet map and config table are updated
+// BEFORE the death signal fires, so a job that observed the death and
+// retries never re-provisions over a fleet still listing the corpse.
 func (c *Coordinator) markDead(w *workerConn, cause error) {
 	w.deadOnce.Do(func() {
-		close(w.dead)
-		w.mc.close()
-
 		c.mu.Lock()
 		delete(c.workers, w.id)
+		c.bumpFleetLocked()
 		var torn []*clusterConfig
-		for key, cfg := range c.configs {
+		for key, e := range c.configs {
+			cfg := e.cfg
+			if cfg == nil {
+				continue
+			}
 			for _, member := range cfg.members {
 				if member == w {
-					delete(c.configs, key)
+					cfg.lost.Store(true)
+					e.cfg = nil
+					if e.active == 0 {
+						// Idle shape: nothing references the entry, so
+						// it can leave the map right away.
+						delete(c.configs, key)
+					}
 					torn = append(torn, cfg)
 					break
 				}
 			}
 		}
 		c.mu.Unlock()
+
+		close(w.dead)
+		w.mc.close()
 
 		c.opts.Logf("cluster: worker %q dead (%v); dropped %d configs", w.name, cause, len(torn))
 		for _, cfg := range torn {
@@ -381,9 +527,11 @@ func (c *Coordinator) monitorHeartbeats() {
 }
 
 // call registers interest in replyKey, sends m, and waits for the
-// reply — failing fast if the worker dies or the timeout passes. A
-// reply whose Err field is set is returned as an error.
-func (w *workerConn) call(m wire.Message, replyKey string, timeout time.Duration) (wire.Message, error) {
+// reply — failing fast if the worker dies, the job is cancelled, or
+// the timeout passes. A reply whose Err field is set is returned as an
+// error. Worker-loss failures wrap errWorkerLost (the retryable
+// class); cancellation returns errCancelled.
+func (w *workerConn) call(m wire.Message, replyKey string, timeout time.Duration, cancel <-chan struct{}) (wire.Message, error) {
 	ch := make(chan wire.Message, 1)
 	w.mu.Lock()
 	w.waiters[replyKey] = ch
@@ -395,7 +543,7 @@ func (w *workerConn) call(m wire.Message, replyKey string, timeout time.Duration
 	}()
 
 	if err := w.mc.write(m); err != nil {
-		return wire.Message{}, fmt.Errorf("worker %q: write %s: %w", w.name, m.Type, err)
+		return wire.Message{}, fmt.Errorf("worker %q: write %s: %v: %w", w.name, m.Type, err, errWorkerLost)
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -406,7 +554,9 @@ func (w *workerConn) call(m wire.Message, replyKey string, timeout time.Duration
 		}
 		return reply, nil
 	case <-w.dead:
-		return wire.Message{}, fmt.Errorf("worker %q died", w.name)
+		return wire.Message{}, fmt.Errorf("worker %q died: %w", w.name, errWorkerLost)
+	case <-cancel:
+		return wire.Message{}, errCancelled
 	case <-timer.C:
 		return wire.Message{}, fmt.Errorf("worker %q: timed out waiting for %s", w.name, replyKey)
 	}
@@ -426,32 +576,65 @@ func (w *workerConn) route(key string, m wire.Message) {
 
 // --- client side ---------------------------------------------------
 
-// serveClient streams one connection's jobs through the queue: each
-// submit is answered with accepted (job id, while the job queues) and
-// then done (result), so the client sees progress before completion.
+// serveClient runs one client connection's read loop: submits are
+// admitted (accepted or rejected immediately) and run concurrently by
+// the scheduler slots, with done replies written as jobs finish,
+// matched by job id — multiple jobs may be in flight per connection.
+// When the connection drops, every job it still has in flight is
+// cancelled, so a vanished client stops occupying workers.
 func (c *Coordinator) serveClient(mc *msgConn, first wire.Message) {
-	defer mc.close()
+	cl := &clientConn{mc: mc, jobs: map[uint64]*job{}}
 	m := first
+loop:
 	for {
-		if m.Type != wire.MsgSubmit {
-			return
-		}
-		done := c.submit(mc, m)
-		if mc.write(done) != nil {
-			return
+		switch m.Type {
+		case wire.MsgSubmit:
+			if !c.admit(cl, m) {
+				break loop // reply write failed: the client is gone
+			}
+		case wire.MsgCancel:
+			cl.mu.Lock()
+			j := cl.jobs[m.Job]
+			cl.mu.Unlock()
+			if j != nil {
+				j.cancelNow("cancelled by client")
+			}
+		default:
+			c.opts.Logf("cluster: client %s sent unexpected %q", mc.remoteAddr(), m.Type)
+			break loop
 		}
 		var err error
 		if m, err = mc.read(); err != nil {
-			return
+			break
 		}
+	}
+	cl.mu.Lock()
+	cl.gone = true
+	inflight := make([]*job, 0, len(cl.jobs))
+	for _, j := range cl.jobs {
+		inflight = append(inflight, j)
+	}
+	cl.mu.Unlock()
+	for _, j := range inflight {
+		j.cancelNow("client disconnected")
 	}
 }
 
-// submit validates, acknowledges, queues and runs one job, returning
-// its done message.
-func (c *Coordinator) submit(mc *msgConn, m wire.Message) wire.Message {
-	fail := func(id uint64, format string, args ...any) wire.Message {
-		return wire.Message{Type: wire.MsgDone, Job: id, Err: fmt.Sprintf(format, args...)}
+// admit validates and enqueues one submission, answering immediately:
+// accepted (job id, now queued) or rejected (invalid spec, full queue,
+// closing coordinator). It never blocks on the queue — admission
+// control is what keeps a full coordinator's submitters unblocked. A
+// false return means the reply write failed: the client is gone (or
+// has stopped draining its socket), and the connection must be torn
+// down — clients match accepted/rejected replies to submissions in
+// FIFO order, so serving further submits after a dropped reply would
+// desynchronize every later job.
+func (c *Coordinator) admit(cl *clientConn, m wire.Message) bool {
+	reject := func(id uint64, format string, args ...any) bool {
+		c.mu.Lock()
+		c.stats.JobsRejected++
+		c.mu.Unlock()
+		return cl.mc.write(wire.Message{Type: wire.MsgRejected, Job: id, Err: fmt.Sprintf(format, args...)}) == nil
 	}
 	c.mu.Lock()
 	c.nextJob++
@@ -459,65 +642,247 @@ func (c *Coordinator) submit(mc *msgConn, m wire.Message) wire.Message {
 	c.mu.Unlock()
 
 	if m.Spec == nil {
-		return fail(id, "submit without spec")
+		return reject(id, "submit without spec")
 	}
 	if _, err := m.Spec.ToApp(); err != nil {
-		return fail(id, "invalid spec: %v", err)
+		return reject(id, "invalid spec: %v", err)
 	}
-	j := &job{id: id, spec: *m.Spec, reply: make(chan wire.Message, 1)}
+	j := &job{
+		id:     id,
+		spec:   *m.Spec,
+		key:    wire.ShapeKey(*m.Spec),
+		client: cl,
+		cancel: make(chan struct{}),
+		acked:  make(chan struct{}),
+	}
+	cl.mu.Lock()
+	cl.jobs[id] = j
+	cl.mu.Unlock()
+
+	select {
+	case <-c.done:
+		cl.mu.Lock()
+		delete(cl.jobs, id)
+		cl.mu.Unlock()
+		return reject(id, "coordinator shutting down")
+	default:
+	}
 	select {
 	case c.queue <- j:
-	case <-c.done:
-		return fail(id, "coordinator shutting down")
+	default:
+		cl.mu.Lock()
+		delete(cl.jobs, id)
+		cl.mu.Unlock()
+		return reject(id, "queue full (depth %d)", c.opts.QueueDepth)
 	}
-	mc.write(wire.Message{Type: wire.MsgAccepted, Job: id})
-	select {
-	case done := <-j.reply:
-		return done
-	case <-c.done:
-		return fail(id, "coordinator shutting down")
+	if cl.mc.write(wire.Message{Type: wire.MsgAccepted, Job: id}) != nil {
+		// The ack never reached the client, so nobody is waiting for
+		// this job: without cancellation it would still run over the
+		// whole fleet for a peer that is already gone. (The caller
+		// tears the connection down, cancelling any other jobs.)
+		j.cancelNow("client disconnected before ack")
+		close(j.acked)
+		return false
+	}
+	close(j.acked)
+	return true
+}
+
+// deliver writes a job's done reply back to its submitting client,
+// after the accepted ack is on the wire and unless the client is gone.
+func (c *Coordinator) deliver(j *job, done wire.Message) {
+	<-j.acked
+	cl := j.client
+	cl.mu.Lock()
+	delete(cl.jobs, j.id)
+	gone := cl.gone
+	cl.mu.Unlock()
+	if !gone {
+		cl.mc.write(done)
 	}
 }
 
-// schedule is the job loop: one run at a time across the fleet, with
-// configuration reuse between jobs of the same shape.
-func (c *Coordinator) schedule() {
+// --- scheduler -----------------------------------------------------
+
+// runVerdict classifies how one run attempt ended.
+type runVerdict int
+
+const (
+	runOK        runVerdict = iota
+	runFailed               // terminal failure: invalid provisioning or run error
+	runRetryable            // a worker died under the job; may re-run
+	runCancelled            // the job was cancelled mid-flight
+)
+
+// scheduleSlot is one of Options.Concurrency scheduler workers: each
+// claims queued jobs and drives them to completion, so jobs of
+// different shapes overlap across the fleet instead of serializing
+// behind one loop.
+func (c *Coordinator) scheduleSlot() {
 	defer c.wg.Done()
 	for {
 		select {
 		case <-c.done:
 			return
 		case j := <-c.queue:
-			done := c.runJob(j)
-			c.mu.Lock()
-			c.stats.JobsRun++
-			if done.Err != "" {
-				c.stats.JobsFailed++
-			}
-			c.mu.Unlock()
-			j.reply <- done
+			c.runQueued(j)
 		}
 	}
 }
 
-func (c *Coordinator) runJob(j *job) wire.Message {
+func (c *Coordinator) runQueued(j *job) {
+	select {
+	case <-j.cancel:
+		// Cancelled while queued: the job never touched the fleet.
+		c.mu.Lock()
+		c.stats.JobsCancelled++
+		c.mu.Unlock()
+		c.deliver(j, wire.Message{Type: wire.MsgDone, Job: j.id, Err: "cancelled: " + j.cancelReason})
+		return
+	default:
+	}
+	c.mu.Lock()
+	c.inFlight++
+	c.mu.Unlock()
+	done, verdict := c.runJobWithRetry(j)
+	c.mu.Lock()
+	c.inFlight--
+	if verdict == runCancelled {
+		c.stats.JobsCancelled++
+	} else {
+		c.stats.JobsRun++
+		if done.Err != "" {
+			c.stats.JobsFailed++
+		}
+	}
+	c.mu.Unlock()
+	c.deliver(j, done)
+}
+
+// runJobWithRetry drives one job through up to MaxAttempts runs:
+// worker-death failures re-provision over the reshaped fleet and run
+// again; every other outcome is final.
+func (c *Coordinator) runJobWithRetry(j *job) (wire.Message, runVerdict) {
+	for {
+		done, verdict, failed := c.runJob(j)
+		if verdict != runRetryable || j.attempt+1 >= c.opts.MaxAttempts {
+			return done, verdict
+		}
+		j.attempt++
+		c.mu.Lock()
+		c.stats.JobsRetried++
+		c.mu.Unlock()
+		c.opts.Logf("cluster: job %d re-queued (attempt %d/%d): %v", j.id, j.attempt+1, c.opts.MaxAttempts, done.Err)
+		c.waitMemberGone(failed, j)
+	}
+}
+
+// waitMemberGone blocks until some member of a failed configuration
+// has actually left the fleet, bounded by the heartbeat timeout (the
+// slowest any death can take to land). A worker-lost write error can
+// race ahead of markDead — the read loop has not yet noticed the
+// corpse — and an immediate retry would re-provision over a fleet map
+// still listing the dead worker, burning the whole attempt budget in
+// microseconds. Waiting on membership (not merely on one fleet-change
+// event, which an unrelated registration also fires) guarantees the
+// retry sees a reshaped fleet.
+func (c *Coordinator) waitMemberGone(failed *clusterConfig, j *job) {
+	if failed == nil {
+		return
+	}
+	deadline := time.NewTimer(c.opts.HeartbeatTimeout)
+	defer deadline.Stop()
+	for {
+		c.mu.Lock()
+		gone := false
+		for _, member := range failed.members {
+			if _, live := c.workers[member.id]; !live {
+				gone = true
+				break
+			}
+		}
+		changed := c.fleetChanged
+		c.mu.Unlock()
+		if gone {
+			return
+		}
+		select {
+		case <-changed:
+		case <-j.cancel:
+			return
+		case <-c.done:
+			return
+		case <-deadline.C:
+			return
+		}
+	}
+}
+
+// entry returns (creating if needed) the scheduler entry of one
+// shape, taking a reference a matching releaseEntry must drop.
+func (c *Coordinator) entry(key string) *configEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.configs[key]
+	if e == nil {
+		e = &configEntry{key: key, lock: make(chan struct{}, 1)}
+		c.configs[key] = e
+	}
+	e.active++
+	return e
+}
+
+// releaseEntry drops a job's reference; the last reference to an
+// entry whose configuration is gone removes it from the map, so
+// shapes that no longer hold fleet state do not accumulate forever.
+func (c *Coordinator) releaseEntry(e *configEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.active--
+	if e.active == 0 && e.cfg == nil && c.configs[e.key] == e {
+		delete(c.configs, e.key)
+	}
+}
+
+// runJob executes one attempt: acquire the shape's run lock, provision
+// or reuse the shape's configuration, fan the run out, and classify
+// the outcome for the retry machinery. On a retryable failure the
+// third return names the configuration that failed, so the retry can
+// wait for its dead member to actually leave the fleet.
+func (c *Coordinator) runJob(j *job) (wire.Message, runVerdict, *clusterConfig) {
 	fail := func(format string, args ...any) wire.Message {
 		return wire.Message{Type: wire.MsgDone, Job: j.id, Err: fmt.Sprintf(format, args...)}
 	}
 
-	key := wire.ShapeKey(j.spec)
-	c.mu.Lock()
-	cfg := c.configs[key]
-	c.mu.Unlock()
+	e := c.entry(j.key)
+	defer c.releaseEntry(e)
+	select {
+	case e.lock <- struct{}{}:
+	case <-j.cancel:
+		return fail("cancelled: %s", j.cancelReason), runCancelled, nil
+	case <-c.done:
+		return fail("coordinator shutting down"), runFailed, nil
+	}
+	defer func() { <-e.lock }()
 
+	c.mu.Lock()
+	cfg := e.cfg
+	c.mu.Unlock()
 	if cfg == nil {
 		var err error
-		cfg, err = c.buildConfig(key, j.spec)
+		cfg, err = c.buildConfig(j.key, j.spec, j.cancel)
 		if err != nil {
-			return fail("provision: %v", err)
+			if errors.Is(err, errCancelled) {
+				return fail("cancelled: %s", j.cancelReason), runCancelled, nil
+			}
+			verdict := runFailed
+			if errors.Is(err, errWorkerLost) {
+				verdict = runRetryable
+			}
+			return fail("provision: %v", err), verdict, cfg
 		}
 		c.mu.Lock()
-		c.configs[key] = cfg
+		e.cfg = cfg
 		c.stats.ConfigsBuilt++
 		c.mu.Unlock()
 	} else {
@@ -528,24 +893,44 @@ func (c *Coordinator) runJob(j *job) wire.Message {
 
 	// Run the job on every member and take the slowest worker's wall
 	// time as the job's elapsed time.
+	c.mu.Lock()
+	c.running++
+	c.mu.Unlock()
 	kernels := wire.KernelsOf(j.spec)
+	// Snapshot the attempt number: fanout returns on the first error
+	// without joining stragglers, so a late goroutine must not read
+	// j.attempt after the retry loop has already incremented it (a
+	// race, and a stale run stamped with the live attempt's key).
+	attempt := j.attempt
 	results := make([]wire.Message, len(cfg.members))
 	err := fanout(cfg.members, func(k int, w *workerConn) error {
 		reply, err := w.call(wire.Message{
 			Type:    wire.MsgRun,
 			Config:  cfg.id,
 			Job:     j.id,
+			Attempt: attempt,
 			Kernels: kernels,
-		}, fmt.Sprintf("result/%d", j.id), c.opts.JobTimeout)
+		}, fmt.Sprintf("result/%d.%d", j.id, attempt), c.opts.JobTimeout, j.cancel)
 		results[k] = reply
 		return err
 	})
+	c.mu.Lock()
+	c.running--
+	c.mu.Unlock()
 	if err != nil {
-		// The configuration's mesh may be mid-abort; drop it so the
-		// next job of this shape provisions a fresh one over the
-		// current fleet.
-		c.dropConfig(cfg)
-		return fail("run: %v", err)
+		// The configuration's mesh may be mid-abort (a dead member) or
+		// still executing an abandoned run (a cancelled job); dropping
+		// it frees the fleet, and the next job of this shape provisions
+		// a fresh one over the current workers.
+		c.dropConfig(e, cfg)
+		if errors.Is(err, errCancelled) {
+			return fail("cancelled: %s", j.cancelReason), runCancelled, nil
+		}
+		verdict := runFailed
+		if cfg.lost.Load() || errors.Is(err, errWorkerLost) {
+			verdict = runRetryable
+		}
+		return fail("run: %v", err), verdict, cfg
 	}
 	var elapsed int64
 	for _, r := range results {
@@ -558,14 +943,16 @@ func (c *Coordinator) runJob(j *job) wire.Message {
 		Job:          j.id,
 		ElapsedNanos: elapsed,
 		Workers:      cfg.ranks,
-	}
+	}, runOK, nil
 }
 
 // buildConfig provisions a new configuration over the live fleet:
 // assign rank spans, prepare every member (plan slice + data
 // listener), then distribute the rank→address table and wait for the
-// mesh to come up.
-func (c *Coordinator) buildConfig(key string, spec wire.AppSpec) (*clusterConfig, error) {
+// mesh to come up. On a provisioning error the partially built
+// configuration is released and still returned (alongside the error),
+// so the retry path knows which members the failure involved.
+func (c *Coordinator) buildConfig(key string, spec wire.AppSpec, cancel <-chan struct{}) (*clusterConfig, error) {
 	c.mu.Lock()
 	fleet := make([]*workerConn, 0, len(c.workers))
 	for _, w := range c.workers {
@@ -605,7 +992,7 @@ func (c *Coordinator) buildConfig(key string, spec wire.AppSpec) (*clusterConfig
 			Ranks:  ranks,
 			RankLo: cfg.spans[k].Lo,
 			RankHi: cfg.spans[k].Hi,
-		}, fmt.Sprintf("prepared/%d", id), c.opts.SetupTimeout)
+		}, fmt.Sprintf("prepared/%d", id), c.opts.SetupTimeout, cancel)
 		if err != nil {
 			return err
 		}
@@ -616,7 +1003,7 @@ func (c *Coordinator) buildConfig(key string, spec wire.AppSpec) (*clusterConfig
 	})
 	if err != nil {
 		c.releaseConfig(cfg, nil)
-		return nil, err
+		return cfg, err
 	}
 
 	// Connect: all members wire the mesh concurrently — each one's
@@ -626,22 +1013,23 @@ func (c *Coordinator) buildConfig(key string, spec wire.AppSpec) (*clusterConfig
 			Type:   wire.MsgConnect,
 			Config: id,
 			Addrs:  addrs,
-		}, fmt.Sprintf("ready/%d", id), c.opts.SetupTimeout)
+		}, fmt.Sprintf("ready/%d", id), c.opts.SetupTimeout, cancel)
 		return err
 	})
 	if err != nil {
 		c.releaseConfig(cfg, nil)
-		return nil, err
+		return cfg, err
 	}
 	c.opts.Logf("cluster: config %d ready: %d ranks over %d workers", id, ranks, len(cfg.members))
 	return cfg, nil
 }
 
-// dropConfig removes a configuration and releases it on its members.
-func (c *Coordinator) dropConfig(cfg *clusterConfig) {
+// dropConfig removes a configuration from its entry and releases it on
+// its members. Callers hold the entry's run lock.
+func (c *Coordinator) dropConfig(e *configEntry, cfg *clusterConfig) {
 	c.mu.Lock()
-	if c.configs[cfg.key] == cfg {
-		delete(c.configs, cfg.key)
+	if e.cfg == cfg {
+		e.cfg = nil
 	}
 	c.mu.Unlock()
 	c.releaseConfig(cfg, nil)

@@ -54,8 +54,10 @@ func spawnWorkerProcess(t *testing.T, coordAddr, name string) *exec.Cmd {
 // (os/exec re-invocations of the test binary), ranks spanning the
 // processes via the tcp mesh. It asserts (a) a stencil run validates
 // across process boundaries, (b) configurations are reused between
-// jobs, and (c) killing a worker process mid-run produces a job error
-// — not a hang — after which the queue keeps serving on the survivors.
+// jobs, (c) two jobs of different shapes pipelined down one connection
+// execute on the fleet concurrently, and (d) SIGKILLing a worker
+// process mid-run is survived: the job is retried over the reshaped
+// fleet and completes, after which the queue keeps serving.
 func TestClusterEndToEndMultiProcess(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process test")
@@ -108,11 +110,36 @@ func TestClusterEndToEndMultiProcess(t *testing.T) {
 		t.Errorf("configs built/reused = %d/%d, want 1/1", st.ConfigsBuilt, st.ConfigsReused)
 	}
 
-	// (c) SIGKILL a worker process mid-run: the job must fail cleanly.
+	// (c) Concurrent submissions: two different shapes pipelined down
+	// this one connection must be observed executing simultaneously
+	// across the worker processes.
+	shapeA := busySpec(6, 6, 600, time.Millisecond)
+	shapeB := busySpec(6, 8, 600, time.Millisecond)
+	shapeB.Graphs[0].Type = "fft"
+	pa, err := cli.SubmitAsync(shapeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := cli.SubmitAsync(shapeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, coord, "2 jobs running concurrently", 30*time.Second, func(s Stats) bool {
+		return s.JobsRunning >= 2
+	})
+	for name, p := range map[string]*Pending{"A": pa, "B": pb} {
+		res, err := p.Wait()
+		if err != nil || res.Err != nil {
+			t.Fatalf("concurrent job %s: %v / %v", name, err, res.Err)
+		}
+	}
+
+	// (d) SIGKILL a worker process mid-run: the job must be retried
+	// over the two surviving processes and complete.
 	long := wire.AppSpec{
 		Workers: 6,
 		Graphs: []wire.GraphSpec{{
-			Steps: 20000, Width: 6, Type: "stencil_1d_periodic",
+			Steps: 3000, Width: 6, Type: "stencil_1d_periodic",
 			Kernel: "busy_wait", WaitNanos: int64(time.Millisecond),
 			Output: 64,
 		}},
@@ -121,9 +148,13 @@ func TestClusterEndToEndMultiProcess(t *testing.T) {
 		res JobResult
 		err error
 	}
+	p, err := cli.SubmitAsync(long)
+	if err != nil {
+		t.Fatal(err)
+	}
 	resCh := make(chan outcome, 1)
 	go func() {
-		res, err := cli.Submit(long)
+		res, err := p.Wait()
 		resCh <- outcome{res, err}
 	}()
 	time.Sleep(500 * time.Millisecond)
@@ -133,14 +164,19 @@ func TestClusterEndToEndMultiProcess(t *testing.T) {
 	select {
 	case out := <-resCh:
 		if out.err != nil {
-			t.Fatalf("protocol error instead of job error: %v", out.err)
+			t.Fatalf("protocol error instead of job result: %v", out.err)
 		}
-		if out.res.Err == nil {
-			t.Fatal("job succeeded despite SIGKILLed worker process")
+		if out.res.Err != nil {
+			t.Fatalf("job failed despite retry: %v", out.res.Err)
 		}
-		t.Logf("job failed as expected after SIGKILL: %v", out.res.Err)
-	case <-time.After(45 * time.Second):
+		if out.res.Workers != 6 {
+			t.Errorf("retried job workers = %d, want 6", out.res.Workers)
+		}
+	case <-time.After(60 * time.Second):
 		t.Fatal("job hung after worker process was killed")
+	}
+	if st := coord.Stats(); st.JobsRetried < 1 {
+		t.Errorf("jobs retried = %d, want >= 1 after SIGKILL", st.JobsRetried)
 	}
 
 	// The queue keeps serving on the surviving processes. (WaitWorkers

@@ -310,9 +310,13 @@ func (w *Worker) handleConnect(m wire.Message) wire.Message {
 // handleRun executes one job on a prepared session: swap in the job's
 // kernel configurations, reset the plan, run the local ranks, and
 // report the local wall time (the coordinator takes the fleet max).
+// The attempt id is echoed in every result so the coordinator can
+// match it to the live attempt and discard a stale run's late result;
+// a stale attempt's run message itself names a released config and
+// fails the unprepared-config check below instead of executing.
 func (w *Worker) handleRun(m wire.Message) wire.Message {
 	fail := func(format string, args ...any) wire.Message {
-		return wire.Message{Type: wire.MsgResult, Config: m.Config, Job: m.Job, Err: fmt.Sprintf(format, args...)}
+		return wire.Message{Type: wire.MsgResult, Config: m.Config, Job: m.Job, Attempt: m.Attempt, Err: fmt.Sprintf(format, args...)}
 	}
 	sess := w.session(m.Config)
 	if sess == nil {
@@ -347,6 +351,7 @@ func (w *Worker) handleRun(m wire.Message) wire.Message {
 		Type:         wire.MsgResult,
 		Config:       m.Config,
 		Job:          m.Job,
+		Attempt:      m.Attempt,
 		ElapsedNanos: int64(elapsed),
 	}
 }

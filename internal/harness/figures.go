@@ -46,8 +46,8 @@ const startIters = int64(1) << 31
 // searchMETG runs the paper's METG procedure on the simulator.
 func searchMETG(w sim.Workload, m sim.Machine, p sim.Profile, scale Scale) (time.Duration, bool) {
 	run := metg.Runner(w.Runner(m, p))
-	v, _, ok := metg.Search(run, startIters, m.PeakFlops(), 0, 0.5, scale.PerDoubling)
-	return v, ok
+	v, _, kind := metg.Search(run, startIters, m.PeakFlops(), 0, 0.5, scale.PerDoubling)
+	return v, kind.Reached()
 }
 
 // Fig4WeakScaling reproduces Figure 4: MPI wall time vs node count

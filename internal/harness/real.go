@@ -169,11 +169,13 @@ func Fig8MemoryBandwidth(cfg RealConfig) (*Figure, error) {
 	return fig, nil
 }
 
-// RealMETGRow is one backend's measured METG on this host.
+// RealMETGRow is one backend's measured METG on this host. Kind
+// distinguishes a true threshold crossing from the upper bound
+// reported when the backend's curve never dips below the threshold.
 type RealMETGRow struct {
 	Backend string
 	METG    time.Duration
-	Found   bool
+	Kind    metg.Kind
 }
 
 // RealMETG measures METG(50%) for each backend on this host with the
@@ -189,20 +191,26 @@ func RealMETG(cfg RealConfig) ([]RealMETGRow, error) {
 		// Peak must use the worker count the backend actually uses.
 		probe := run(1)
 		peak := cal.FlopsPerSecondPerCore * float64(probe.Workers)
-		m, _, ok := metg.Search(run, cfg.MaxIters, peak, 0, 0.5, cfg.PerDoubling)
+		m, _, kind := metg.Search(run, cfg.MaxIters, peak, 0, 0.5, cfg.PerDoubling)
 		done()
-		rows = append(rows, RealMETGRow{Backend: name, METG: m, Found: ok})
+		rows = append(rows, RealMETGRow{Backend: name, METG: m, Kind: kind})
 	}
 	return rows, nil
 }
 
-// RealMETGTable renders RealMETG results as markdown.
+// RealMETGTable renders RealMETG results as markdown, reporting
+// measured crossings plainly and bound-only results as "≤ value".
 func RealMETGTable(rows []RealMETGRow) string {
 	var cells [][]string
 	for _, r := range rows {
-		v := "above threshold not reached"
-		if r.Found {
+		var v string
+		switch r.Kind {
+		case metg.Measured:
 			v = r.METG.Round(100 * time.Nanosecond).String()
+		case metg.UpperBound:
+			v = "≤ " + r.METG.Round(100*time.Nanosecond).String() + " (upper bound)"
+		default:
+			v = "above threshold not reached"
 		}
 		cells = append(cells, []string{r.Backend, v})
 	}

@@ -124,32 +124,72 @@ func Curve(run Runner, iterations []int64, peakFlops, peakBytes float64) []Point
 	return points
 }
 
+// Kind classifies how an METG value was obtained, distinguishing a
+// true threshold crossing from the conservative bound reported when
+// the measured curve never dips below the threshold.
+type Kind int
+
+const (
+	// NotReached: the curve never attains the threshold; there is no
+	// METG value.
+	NotReached Kind = iota
+	// UpperBound: every measured point sits at or above the threshold,
+	// so the smallest observed granularity only bounds METG from above
+	// (the paper's "≤" rows for systems whose asymptote lies above
+	// 50%).
+	UpperBound
+	// Measured: the curve crosses the threshold between two measured
+	// points and the value is the log-interpolated crossing.
+	Measured
+)
+
+// Reached reports whether the curve attains the threshold at all,
+// i.e. whether a value (measured or bound) exists.
+func (k Kind) Reached() bool { return k != NotReached }
+
+func (k Kind) String() string {
+	switch k {
+	case Measured:
+		return "measured"
+	case UpperBound:
+		return "upper bound"
+	default:
+		return "not reached"
+	}
+}
+
 // METG extracts the minimum effective task granularity at the given
 // efficiency threshold from a curve measured with shrinking problem
 // sizes. It returns the granularity at which the curve crosses the
-// threshold, log-interpolated between the two bracketing points — the
-// red dashed intersection of Figure 3. The boolean is false if the
-// curve never reaches the threshold at all.
+// threshold, log-interpolated between the bracketing points — the red
+// dashed intersection of Figure 3. A noisy curve may cross the
+// threshold more than once; every adjacent bracket is scanned and the
+// minimum crossing wins, since METG is the smallest granularity at
+// which the efficiency constraint still holds.
 //
-// If every point is above the threshold the curve never crosses; the
-// smallest granularity observed is returned as a (conservative) upper
-// bound, matching how the paper reports systems whose asymptote lies
-// above 50%.
-func METG(points []Point, threshold float64) (time.Duration, bool) {
+// The Kind disambiguates the no-crossing cases: NotReached means the
+// curve never attains the threshold (no value); UpperBound means every
+// point is above the threshold, so the smallest granularity observed
+// is only a conservative upper bound on METG, matching how the paper
+// reports systems whose asymptote lies above 50%.
+func METG(points []Point, threshold float64) (time.Duration, Kind) {
 	best := time.Duration(0)
 	found := false
 	for _, p := range points {
 		if p.Efficiency >= threshold && p.Granularity > 0 {
 			if !found || p.Granularity < best {
 				best = p.Granularity
-				found = true
 			}
+			found = true
 		}
 	}
 	if !found {
-		return 0, false
+		return 0, NotReached
 	}
-	// Refine with the crossing between adjacent points when available.
+	kind := UpperBound
+	// Refine with every bracketing pair. Taking only the first bracket
+	// would silently ignore a later crossing at smaller granularity on
+	// a non-monotone curve.
 	for k := 0; k+1 < len(points); k++ {
 		a, b := points[k], points[k+1]
 		if a.Efficiency >= threshold && b.Efficiency < threshold &&
@@ -162,18 +202,18 @@ func METG(points []Point, threshold float64) (time.Duration, bool) {
 			if cross < best {
 				best = cross
 			}
-			break
+			kind = Measured
 		}
 	}
-	return best, true
+	return best, kind
 }
 
 // Search runs the complete METG procedure: sweep iteration counts
 // geometrically downward from startIters until efficiency drops well
 // below the threshold (or the iteration count reaches 1), then extract
-// METG. It returns the metg value, the measured curve, and whether the
-// threshold was ever met.
-func Search(run Runner, startIters int64, peakFlops, peakBytes float64, threshold float64, perDoubling int) (time.Duration, []Point, bool) {
+// METG. It returns the metg value, the measured curve, and the Kind of
+// the value (measured crossing, upper bound, or not reached).
+func Search(run Runner, startIters int64, peakFlops, peakBytes float64, threshold float64, perDoubling int) (time.Duration, []Point, Kind) {
 	iters := stats.GeomIters(startIters, 1, perDoubling)
 	var points []Point
 	for _, it := range iters {
@@ -191,6 +231,6 @@ func Search(run Runner, startIters int64, peakFlops, peakBytes float64, threshol
 			break
 		}
 	}
-	m, ok := METG(points, threshold)
-	return m, points, ok
+	m, kind := METG(points, threshold)
+	return m, points, kind
 }

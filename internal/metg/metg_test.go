@@ -1,7 +1,10 @@
 package metg
 
 import (
+	"math"
+	"math/rand"
 	"testing"
+	"testing/quick"
 	"time"
 
 	"taskbench/internal/core"
@@ -10,6 +13,7 @@ import (
 	_ "taskbench/internal/runtime/p2p"
 	_ "taskbench/internal/runtime/serial"
 	_ "taskbench/internal/runtime/taskpool"
+	"taskbench/internal/stats"
 )
 
 // syntheticRunner models a runtime with a fixed per-task overhead: a
@@ -52,9 +56,9 @@ func TestMETGMatchesOverhead(t *testing.T) {
 	// 2×overhead at the 50% point.
 	overhead := 100 * time.Microsecond
 	run := flopsRunner(overhead, 100)
-	m, points, ok := Search(run, 1<<20, 1.0, 0, 0.5, 2)
-	if !ok {
-		t.Fatalf("METG not found; curve: %+v", points)
+	m, points, kind := Search(run, 1<<20, 1.0, 0, 0.5, 2)
+	if kind != Measured {
+		t.Fatalf("METG kind = %v, want measured; curve: %+v", kind, points)
 	}
 	want := 2 * overhead
 	ratio := float64(m) / float64(want)
@@ -65,9 +69,9 @@ func TestMETGMatchesOverhead(t *testing.T) {
 
 func TestMETGOrdering(t *testing.T) {
 	// A runtime with 10× the overhead must have ≈10× the METG.
-	fast, _, ok1 := Search(flopsRunner(10*time.Microsecond, 50), 1<<20, 1.0, 0, 0.5, 2)
-	slow, _, ok2 := Search(flopsRunner(100*time.Microsecond, 50), 1<<20, 1.0, 0, 0.5, 2)
-	if !ok1 || !ok2 {
+	fast, _, k1 := Search(flopsRunner(10*time.Microsecond, 50), 1<<20, 1.0, 0, 0.5, 2)
+	slow, _, k2 := Search(flopsRunner(100*time.Microsecond, 50), 1<<20, 1.0, 0, 0.5, 2)
+	if !k1.Reached() || !k2.Reached() {
 		t.Fatal("METG not found")
 	}
 	ratio := float64(slow) / float64(fast)
@@ -86,7 +90,7 @@ func TestMETGNotFound(t *testing.T) {
 			Workers: 1,
 		}
 	}
-	if _, _, ok := Search(run, 1<<10, 1e12, 0, 0.5, 1); ok {
+	if _, _, kind := Search(run, 1<<10, 1e12, 0, 0.5, 1); kind.Reached() {
 		t.Error("Search claimed to find METG for a hopeless runtime")
 	}
 }
@@ -97,9 +101,9 @@ func TestMETGAllAboveThreshold(t *testing.T) {
 		{Granularity: 1 * time.Millisecond, Efficiency: 0.90},
 		{Granularity: 100 * time.Microsecond, Efficiency: 0.80},
 	}
-	m, ok := METG(points, 0.5)
-	if !ok || m != 100*time.Microsecond {
-		t.Errorf("METG = %v, %v; want upper bound 100µs, true", m, ok)
+	m, kind := METG(points, 0.5)
+	if kind != UpperBound || m != 100*time.Microsecond {
+		t.Errorf("METG = %v, %v; want upper bound 100µs", m, kind)
 	}
 }
 
@@ -109,9 +113,9 @@ func TestMETGInterpolatesCrossing(t *testing.T) {
 		{Granularity: 100 * time.Microsecond, Efficiency: 0.6},
 		{Granularity: 10 * time.Microsecond, Efficiency: 0.2},
 	}
-	m, ok := METG(points, 0.5)
-	if !ok {
-		t.Fatal("crossing not found")
+	m, kind := METG(points, 0.5)
+	if kind != Measured {
+		t.Fatalf("crossing not found: kind = %v", kind)
 	}
 	if m >= 100*time.Microsecond || m <= 10*time.Microsecond {
 		t.Errorf("METG = %v, want between 10µs and 100µs", m)
@@ -119,8 +123,105 @@ func TestMETGInterpolatesCrossing(t *testing.T) {
 }
 
 func TestMETGEmptyCurve(t *testing.T) {
-	if _, ok := METG(nil, 0.5); ok {
+	if _, kind := METG(nil, 0.5); kind.Reached() {
 		t.Error("METG on empty curve reported success")
+	}
+}
+
+// TestMETGMinimumCrossingNonMonotone is the directed regression for
+// the break-after-first-bracket bug: on a noisy curve that dips below
+// the threshold, recovers, and dips again, METG is the crossing of the
+// LAST bracket (smallest granularity), not the first.
+func TestMETGMinimumCrossingNonMonotone(t *testing.T) {
+	points := []Point{
+		{Granularity: 8 * time.Millisecond, Efficiency: 0.9},
+		{Granularity: 4 * time.Millisecond, Efficiency: 0.4},
+		{Granularity: 2 * time.Millisecond, Efficiency: 0.8},
+		{Granularity: 1 * time.Millisecond, Efficiency: 0.45},
+	}
+	m, kind := METG(points, 0.5)
+	if kind != Measured {
+		t.Fatalf("kind = %v, want measured", kind)
+	}
+	// The old code broke after the first bracket (8ms→4ms, crossing
+	// above 4ms, worse than the 2ms point) and returned 2ms. The true
+	// minimum crossing lies in the last bracket, between 1ms and 2ms.
+	if m >= 2*time.Millisecond || m <= 1*time.Millisecond {
+		t.Errorf("METG = %v, want the last bracket's crossing in (1ms, 2ms)", m)
+	}
+	want := time.Duration(stats.InterpLogX(
+		float64(2*time.Millisecond), 0.8,
+		float64(1*time.Millisecond), 0.45,
+		0.5))
+	if m != want {
+		t.Errorf("METG = %v, want interpolated crossing %v", m, want)
+	}
+}
+
+// refMETG is a brute-force reference for the property test: the
+// minimum over all above-threshold point granularities and all
+// adjacent-bracket crossings, written as one obvious pass.
+func refMETG(points []Point, threshold float64) (time.Duration, Kind) {
+	best := time.Duration(math.MaxInt64)
+	kind := NotReached
+	for _, p := range points {
+		if p.Granularity > 0 && p.Efficiency >= threshold {
+			if p.Granularity < best {
+				best = p.Granularity
+			}
+			if kind == NotReached {
+				kind = UpperBound
+			}
+		}
+	}
+	for k := 0; k+1 < len(points); k++ {
+		a, b := points[k], points[k+1]
+		if a.Granularity > 0 && b.Granularity > 0 &&
+			a.Efficiency >= threshold && b.Efficiency < threshold {
+			cross := time.Duration(stats.InterpLogX(
+				float64(a.Granularity), a.Efficiency,
+				float64(b.Granularity), b.Efficiency,
+				threshold))
+			if cross < best {
+				best = cross
+			}
+			kind = Measured
+		}
+	}
+	if kind == NotReached {
+		return 0, NotReached
+	}
+	return best, kind
+}
+
+// TestMETGPropertyAgainstReference drives METG over randomized,
+// deliberately non-monotone efficiency curves and checks value and
+// kind against the brute-force reference.
+func TestMETGPropertyAgainstReference(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%14
+		points := make([]Point, n)
+		g := float64((10 + rng.Intn(100))) * float64(time.Millisecond)
+		for k := range points {
+			points[k] = Point{
+				Granularity: time.Duration(g),
+				// Uniform noise straddling the threshold keeps multiple
+				// crossings likely.
+				Efficiency: rng.Float64() * 1.05,
+			}
+			g /= 1.2 + 2*rng.Float64() // strictly shrinking granularity
+		}
+		got, gotKind := METG(points, 0.5)
+		want, wantKind := refMETG(points, 0.5)
+		if got != want || gotKind != wantKind {
+			t.Logf("curve %+v:\n got %v (%v)\nwant %v (%v)", points, got, gotKind, want, wantKind)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
 	}
 }
 

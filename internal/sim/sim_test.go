@@ -21,8 +21,8 @@ func simMETG(t *testing.T, w Workload, m Machine, profileName string) time.Durat
 		t.Fatal(err)
 	}
 	run := metg.Runner(w.Runner(m, p))
-	got, _, ok := metg.Search(run, 1<<31, m.PeakFlops(), 0, 0.5, 2)
-	if !ok {
+	got, _, kind := metg.Search(run, 1<<31, m.PeakFlops(), 0, 0.5, 2)
+	if !kind.Reached() {
 		t.Fatalf("METG(50%%) not found for %s", profileName)
 	}
 	return got

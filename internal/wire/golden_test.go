@@ -73,9 +73,13 @@ func TestGoldenMessages(t *testing.T) {
 		{Type: MsgReady, Config: 7},
 		{Type: MsgRun, Config: 7, Job: 9, Kernels: []KernelSpec{{Kernel: "compute_bound", Iterations: 64}}},
 		{Type: MsgResult, Config: 7, Job: 9, ElapsedNanos: 1234567},
+		{Type: MsgRun, Config: 8, Job: 9, Attempt: 1, Kernels: []KernelSpec{{Kernel: "compute_bound", Iterations: 64}}},
+		{Type: MsgResult, Config: 8, Job: 9, Attempt: 1, ElapsedNanos: 1234567},
 		{Type: MsgRelease, Config: 7},
 		{Type: MsgSubmit, Spec: &AppSpec{Graphs: []GraphSpec{{Steps: 2, Width: 2, Type: "trivial"}}}},
 		{Type: MsgAccepted, Job: 9},
+		{Type: MsgRejected, Job: 11, Err: "queue full (depth 64)"},
+		{Type: MsgCancel, Job: 9},
 		{Type: MsgDone, Job: 9, ElapsedNanos: 1234567, Workers: 6},
 		{Type: MsgDone, Job: 10, Err: `worker "node2" died`},
 	}

@@ -14,7 +14,14 @@ import (
 // instead of misinterpreting fields; unknown fields from same-version
 // peers are ignored (the decoder here is deliberately lenient, unlike
 // the strict spec Decode).
-const ProtoVersion = 1
+//
+// Version history:
+//
+//	1  initial protocol (register…done)
+//	2  rejected/cancel messages; results matched on (job, attempt) —
+//	   a v1 worker would never echo Attempt, silently stalling every
+//	   retried run, so the bump makes the mismatch loud.
+const ProtoVersion = 2
 
 // Message types of the cluster control protocol. One flat Message
 // envelope carries every type; unused fields stay at their zero value
@@ -31,7 +38,13 @@ const ProtoVersion = 1
 //
 // Client ↔ coordinator:
 //
-//	submit →, ← accepted, ← done     one job through the queue
+//	submit →, ← accepted | rejected  admission: every submit is answered
+//	                                 immediately — accepted (queued) or
+//	                                 rejected (full queue, invalid spec)
+//	← done                           one per accepted job, matched by id;
+//	                                 many jobs may be in flight per
+//	                                 connection
+//	cancel →                         abandon an accepted job by id
 const (
 	MsgRegister  = "register"
 	MsgWelcome   = "welcome"
@@ -45,6 +58,8 @@ const (
 	MsgRelease   = "release"
 	MsgSubmit    = "submit"
 	MsgAccepted  = "accepted"
+	MsgRejected  = "rejected"
+	MsgCancel    = "cancel"
 	MsgDone      = "done"
 )
 
@@ -112,8 +127,14 @@ type Message struct {
 
 	// Config identifies a prepared configuration (prepare…release).
 	Config uint64 `json:"config,omitempty"`
-	// Job identifies one queued job (run, result, accepted, done).
+	// Job identifies one queued job (run, result, accepted, rejected,
+	// cancel, done).
 	Job uint64 `json:"job,omitempty"`
+	// Attempt is the retry generation of a run (run, result): a job
+	// re-queued after a worker death runs again with the next attempt
+	// number, and results are matched on (job, attempt) so a stale
+	// run's late result cannot be mistaken for the live attempt's.
+	Attempt int `json:"attempt,omitempty"`
 
 	// Ranks is the total rank count of a configuration (prepare).
 	Ranks int `json:"ranks,omitempty"`

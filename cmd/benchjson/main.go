@@ -12,6 +12,16 @@
 // benchmarks — so the CI artifact history reads as a perf trail:
 //
 //	benchjson -diff BENCH_old.json BENCH_new.json
+//
+// Adding -gate turns the trail into a tripwire: the process exits
+// nonzero if any benchmark present in both reports slowed by more than
+// the given percentage of ns/op, or increased its allocs/op at all
+// (the hot paths are zero-alloc by design, so any new allocation is a
+// regression, not noise). -match restricts the diff to benchmarks
+// whose name matches a regexp — CI gates a hand-picked hot set at a
+// meaningful -benchtime rather than the full 1x smoke sweep:
+//
+//	benchjson -diff BENCH_prev.json BENCH_GATE.json -gate 10 -match 'WireEncode|MeshSend'
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -56,6 +67,9 @@ func main() {
 func run(args []string) error {
 	in := ""
 	out := ""
+	var diffPaths []string
+	gate := -1.0 // percent; negative means no gate
+	matchExpr := ""
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-in":
@@ -74,10 +88,40 @@ func run(args []string) error {
 			if i+2 >= len(args) {
 				return fmt.Errorf("-diff requires two report paths (old.json new.json)")
 			}
-			return diff(os.Stdout, args[i+1], args[i+2])
+			diffPaths = []string{args[i+1], args[i+2]}
+			i += 2
+		case "-gate":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-gate requires a percentage (e.g. -gate 10)")
+			}
+			pct, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil || pct <= 0 {
+				return fmt.Errorf("-gate wants a positive percentage, got %q", args[i+1])
+			}
+			gate = pct
+			i++
+		case "-match":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-match requires a regexp")
+			}
+			matchExpr = args[i+1]
+			i++
 		default:
-			return fmt.Errorf("unknown flag %q (usage: benchjson [-in bench.txt] [-out BENCH.json] | -diff old.json new.json)", args[i])
+			return fmt.Errorf("unknown flag %q (usage: benchjson [-in bench.txt] [-out BENCH.json] | -diff old.json new.json [-gate pct] [-match regexp])", args[i])
 		}
+	}
+	if diffPaths != nil {
+		var match *regexp.Regexp
+		if matchExpr != "" {
+			var err error
+			if match, err = regexp.Compile(matchExpr); err != nil {
+				return fmt.Errorf("-match: %w", err)
+			}
+		}
+		return diff(os.Stdout, diffPaths[0], diffPaths[1], gate, match)
+	}
+	if gate >= 0 || matchExpr != "" {
+		return fmt.Errorf("-gate and -match only apply to -diff")
 	}
 
 	var r io.Reader = os.Stdin
@@ -159,9 +203,15 @@ func parse(r io.Reader) (*Report, error) {
 
 // diff prints a per-benchmark regression table between two reports:
 // ns/op delta (percent), allocs/op delta (absolute), and benchmarks
-// present in only one report. The exit status stays zero — the table
-// is a trail, not a gate; thresholds belong to whoever reads it.
-func diff(w io.Writer, oldPath, newPath string) error {
+// present in only one report. match, when non-nil, restricts the table
+// to benchmarks whose name it matches. With gatePct negative the exit
+// status stays zero — the table is a trail; thresholds belong to
+// whoever reads it. With gatePct set, the diff becomes a CI tripwire:
+// a benchmark present in both reports that slowed by more than gatePct
+// percent of ns/op, or allocated more per op at all, is an error.
+// Appearing and vanishing benchmarks never trip the gate — renames and
+// new coverage are not regressions.
+func diff(w io.Writer, oldPath, newPath string, gatePct float64, match *regexp.Regexp) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return err
@@ -180,10 +230,13 @@ func diff(w io.Writer, oldPath, newPath string) error {
 	}
 	sorted := make([]string, 0, len(names))
 	for name := range names {
-		sorted = append(sorted, name)
+		if match == nil || match.MatchString(name) {
+			sorted = append(sorted, name)
+		}
 	}
 	sort.Strings(sorted)
 
+	var tripped []string
 	fmt.Fprintf(w, "%-44s %14s %14s %9s %14s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
 	for _, name := range sorted {
 		o, inOld := oldRep.Benchmarks[name]
@@ -199,7 +252,23 @@ func diff(w io.Writer, oldPath, newPath string) error {
 				delta = fmt.Sprintf("%+.1f%%", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp)
 			}
 			fmt.Fprintf(w, "%-44s %14.1f %14.1f %9s %14s\n", name, o.NsPerOp, n.NsPerOp, delta, allocDelta(o.AllocsPerOp, n.AllocsPerOp))
+			if gatePct >= 0 {
+				if o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+gatePct/100) {
+					tripped = append(tripped, fmt.Sprintf("%s: ns/op %+.1f%% exceeds +%.1f%%",
+						name, 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp, gatePct))
+				}
+				if o.AllocsPerOp != nil && n.AllocsPerOp != nil && *n.AllocsPerOp > *o.AllocsPerOp {
+					tripped = append(tripped, fmt.Sprintf("%s: allocs/op %.0f → %.0f",
+						name, *o.AllocsPerOp, *n.AllocsPerOp))
+				}
+			}
 		}
+	}
+	if len(tripped) > 0 {
+		for _, line := range tripped {
+			fmt.Fprintf(w, "GATE: %s\n", line)
+		}
+		return fmt.Errorf("%d benchmark regression(s) beyond the gate", len(tripped))
 	}
 	return nil
 }

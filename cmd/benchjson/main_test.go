@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -59,7 +60,7 @@ func TestDiffReports(t *testing.T) {
 	}})
 
 	var out strings.Builder
-	if err := diff(&out, oldPath, newPath); err != nil {
+	if err := diff(&out, oldPath, newPath, -1, nil); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -79,7 +80,130 @@ func TestDiffRejectsEmptyReport(t *testing.T) {
 	dir := t.TempDir()
 	empty := filepath.Join(dir, "empty.json")
 	os.WriteFile(empty, []byte(`{"benchmarks":{}}`), 0o644)
-	if err := diff(os.Stdout, empty, empty); err == nil {
+	if err := diff(os.Stdout, empty, empty, -1, nil); err == nil {
 		t.Error("diff accepted an empty report")
+	}
+}
+
+// writeReport marshals a report to a file in dir for the gate tests.
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateTripsOnRegression pins the CI tripwire contract: a synthetic
+// >10% ns/op regression must turn the diff into a nonzero exit, naming
+// the offender, while benchmarks inside the threshold pass.
+func TestGateTripsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	f := func(v float64) *float64 { return &v }
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkHot":    {NsPerOp: 100, AllocsPerOp: f(0)},
+		"BenchmarkNoisy":  {NsPerOp: 100, AllocsPerOp: f(0)},
+		"BenchmarkCustom": {NsPerOp: 40},
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkHot":    {NsPerOp: 115, AllocsPerOp: f(0)}, // +15%: trips a 10% gate
+		"BenchmarkNoisy":  {NsPerOp: 109, AllocsPerOp: f(0)}, // +9%: inside the gate
+		"BenchmarkCustom": {NsPerOp: 40},
+	}})
+
+	var out strings.Builder
+	err := diff(&out, oldPath, newPath, 10, nil)
+	if err == nil {
+		t.Fatalf("gate passed a +15%% regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "GATE: BenchmarkHot") {
+		t.Errorf("gate output does not name the offender:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "GATE: BenchmarkNoisy") {
+		t.Errorf("gate tripped on a within-threshold delta:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := diff(&out, oldPath, newPath, 20, nil); err != nil {
+		t.Errorf("20%% gate tripped on a +15%% delta: %v\n%s", err, out.String())
+	}
+}
+
+// TestGateTripsOnAllocIncrease pins the zero-alloc contract: any
+// allocs/op increase trips the gate regardless of the ns/op threshold,
+// while appearing/vanishing benchmarks never do.
+func TestGateTripsOnAllocIncrease(t *testing.T) {
+	dir := t.TempDir()
+	f := func(v float64) *float64 { return &v }
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkZeroAlloc": {NsPerOp: 100, AllocsPerOp: f(0)},
+		"BenchmarkGone":      {NsPerOp: 500, AllocsPerOp: f(9)},
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkZeroAlloc": {NsPerOp: 100, AllocsPerOp: f(1)}, // same speed, new alloc
+		"BenchmarkNew":       {NsPerOp: 500, AllocsPerOp: f(9)},
+	}})
+
+	var out strings.Builder
+	err := diff(&out, oldPath, newPath, 10, nil)
+	if err == nil {
+		t.Fatalf("gate passed an allocs/op increase:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "GATE: BenchmarkZeroAlloc") ||
+		!strings.Contains(out.String(), "0 → 1") {
+		t.Errorf("gate output does not name the alloc regression:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "GATE: BenchmarkGone") || strings.Contains(out.String(), "GATE: BenchmarkNew") {
+		t.Errorf("gate tripped on an appearing/vanishing benchmark:\n%s", out.String())
+	}
+}
+
+// TestGateMatchRestrictsScope pins -match: a regression outside the
+// matched hot set is invisible to both the table and the gate.
+func TestGateMatchRestrictsScope(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkHot":  {NsPerOp: 100},
+		"BenchmarkCold": {NsPerOp: 100},
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkHot":  {NsPerOp: 100},
+		"BenchmarkCold": {NsPerOp: 300},
+	}})
+
+	var out strings.Builder
+	if err := diff(&out, oldPath, newPath, 10, regexp.MustCompile("Hot")); err != nil {
+		t.Errorf("gate tripped on a benchmark outside -match: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkCold") {
+		t.Errorf("-match leaked an unmatched benchmark into the table:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := diff(&out, oldPath, newPath, 10, regexp.MustCompile("Cold")); err == nil {
+		t.Errorf("gate passed a matched 3x regression:\n%s", out.String())
+	}
+}
+
+// TestRunFlagValidation pins the CLI surface: -gate/-match without
+// -diff, and malformed values, are refused rather than ignored.
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-gate", "10"},
+		{"-match", "Hot"},
+		{"-diff", "a.json", "b.json", "-gate", "0"},
+		{"-diff", "a.json", "b.json", "-gate", "ten"},
+		{"-diff", "a.json", "b.json", "-match", "("},
+		{"-gate"},
+		{"-match"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", args)
+		}
 	}
 }

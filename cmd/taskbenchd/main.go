@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"taskbench/internal/cluster"
+	"taskbench/internal/wire"
 )
 
 func main() {
@@ -57,8 +58,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   taskbenchd coordinator [-listen addr] [-heartbeat d] [-timeout d] [-job-timeout d]
-                         [-concurrency n] [-retries n] [-queue n]
-  taskbenchd worker -coordinator addr [-name s] [-advertise host]`)
+                         [-concurrency n] [-retries n] [-queue n] [-proto json|binary]
+  taskbenchd worker -coordinator addr [-name s] [-advertise host] [-proto json|binary]`)
 }
 
 func runCoordinator(args []string) error {
@@ -70,9 +71,13 @@ func runCoordinator(args []string) error {
 	concurrency := fs.Int("concurrency", 4, "scheduler slots: jobs that may run across the fleet at once")
 	retries := fs.Int("retries", 2, "re-runs per job when workers die mid-run (0 disables retry)")
 	queue := fs.Int("queue", 64, "job queue depth; submissions beyond it are rejected immediately")
+	proto := fs.String("proto", "binary", "control frame format to negotiate: binary or json (json pins every conversation to the debug format)")
 	fs.Parse(args)
 	if *retries < 0 {
 		*retries = 0
+	}
+	if err := checkProto(*proto); err != nil {
+		return err
 	}
 
 	coord, err := cluster.Start(cluster.Options{
@@ -84,6 +89,7 @@ func runCoordinator(args []string) error {
 		// -retries counts RE-runs; MaxAttempts counts total runs.
 		MaxAttempts: *retries + 1,
 		QueueDepth:  *queue,
+		Proto:       *proto,
 		Logf:        log.Printf,
 	})
 	if err != nil {
@@ -100,7 +106,11 @@ func runWorker(args []string) error {
 	coordinator := fs.String("coordinator", "127.0.0.1:7580", "coordinator control address")
 	name := fs.String("name", "", "worker name in coordinator logs (default hostname)")
 	advertise := fs.String("advertise", "127.0.0.1", "host peers dial for rank data connections")
+	proto := fs.String("proto", "binary", "control frame format to offer the coordinator: binary or json")
 	fs.Parse(args)
+	if err := checkProto(*proto); err != nil {
+		return err
+	}
 
 	if *name == "" {
 		if host, err := os.Hostname(); err == nil {
@@ -111,6 +121,7 @@ func runWorker(args []string) error {
 		Coordinator: *coordinator,
 		Name:        *name,
 		Advertise:   *advertise,
+		Proto:       *proto,
 		Logf:        log.Printf,
 	})
 	go func() {
@@ -118,6 +129,13 @@ func runWorker(args []string) error {
 		w.Close()
 	}()
 	return w.Run()
+}
+
+func checkProto(p string) error {
+	if p != wire.ProtoJSON && p != wire.ProtoBinary {
+		return fmt.Errorf("-proto must be %q or %q, got %q", wire.ProtoJSON, wire.ProtoBinary, p)
+	}
+	return nil
 }
 
 func waitForSignal() {

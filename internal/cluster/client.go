@@ -125,7 +125,11 @@ func (c *Client) SubmitAsync(spec wire.AppSpec) (*Pending, error) {
 	}
 	c.fifo = append(c.fifo, p)
 	c.mu.Unlock()
-	if err := c.mc.write(wire.Message{Type: wire.MsgSubmit, Spec: &spec}); err != nil {
+	// Every submit advertises the binary frame format; the coordinator
+	// echoes the offer on its admission replies if it accepts, and the
+	// read loop switches this side's writes then. A coordinator pinned
+	// to JSON (or an older one) simply never echoes.
+	if err := c.mc.write(wire.Message{Type: wire.MsgSubmit, Spec: &spec, Proto: wire.ProtoBinary}); err != nil {
 		c.mu.Lock()
 		for i, q := range c.fifo {
 			if q == p {
@@ -157,6 +161,9 @@ func (c *Client) readLoop() {
 		if err != nil {
 			c.failAll(fmt.Errorf("cluster: coordinator connection: %w", err))
 			return
+		}
+		if (m.Type == wire.MsgAccepted || m.Type == wire.MsgRejected) && m.Proto == wire.ProtoBinary {
+			c.mc.binary.Store(true)
 		}
 		switch m.Type {
 		case wire.MsgAccepted:

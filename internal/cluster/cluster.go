@@ -47,35 +47,42 @@
 package cluster
 
 import (
-	"encoding/json"
+	"bufio"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taskbench/internal/wire"
 )
 
-// msgConn frames wire.Messages over one TCP connection: newline-
-// delimited JSON with a persistent decoder (so buffered bytes survive
-// between reads) and a write mutex (heartbeats and replies interleave).
-// A nonzero writeTimeout bounds each write: the coordinator arms it on
-// accepted connections so a peer that stops draining its socket (a
-// SIGSTOPped client, say) turns into a write error — freeing the
-// scheduler slot delivering to it — instead of a goroutine parked in
-// write forever.
+// msgConn frames wire.Messages over one TCP connection. Reads are
+// bilingual — wire.ReadMessageFrom detects per message whether the
+// peer framed it as newline-delimited JSON or as a binary frame — so
+// the connection can switch formats mid-conversation without a window
+// where a frame is unreadable. Writes start as JSON (the opening and
+// debug format) and switch to binary once negotiation (the Proto
+// offer/echo at register/welcome or submit/first-reply time) sets the
+// binary flag. A write mutex serializes writers (heartbeats and
+// replies interleave); a nonzero writeTimeout bounds each write: the
+// coordinator arms it on accepted connections so a peer that stops
+// draining its socket (a SIGSTOPped client, say) turns into a write
+// error — freeing the scheduler slot delivering to it — instead of a
+// goroutine parked in write forever.
 type msgConn struct {
 	conn         net.Conn
-	dec          *json.Decoder
+	br           *bufio.Reader
 	wmu          sync.Mutex
 	writeTimeout time.Duration
+	binary       atomic.Bool
 }
 
 func newMsgConn(conn net.Conn) *msgConn {
-	return &msgConn{conn: conn, dec: json.NewDecoder(conn)}
+	return &msgConn{conn: conn, br: bufio.NewReader(conn)}
 }
 
 func (c *msgConn) read() (wire.Message, error) {
-	return wire.ReadMessage(c.dec)
+	return wire.ReadMessageFrom(c.br)
 }
 
 func (c *msgConn) write(m wire.Message) error {
@@ -84,10 +91,23 @@ func (c *msgConn) write(m wire.Message) error {
 	if c.writeTimeout > 0 {
 		c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	}
+	if c.binary.Load() {
+		return wire.WriteMessageBinary(c.conn, m)
+	}
 	return wire.WriteMessage(c.conn, m)
 }
 
 func (c *msgConn) close() { c.conn.Close() }
+
+// protoName labels a negotiated frame format for logs: the empty
+// string (no offer, or offer declined) means the conversation stayed
+// JSON.
+func protoName(proto string) string {
+	if proto == "" {
+		return wire.ProtoJSON
+	}
+	return proto
+}
 
 // remoteAddr names the peer for log messages.
 func (c *msgConn) remoteAddr() string { return c.conn.RemoteAddr().String() }

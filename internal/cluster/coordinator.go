@@ -37,6 +37,14 @@ type Options struct {
 	// a shape serialize on that shape's run lock (the prepared mesh is
 	// single-run state) but pipeline over it without re-provisioning.
 	Concurrency int
+	// Proto selects the control-plane frame format this coordinator is
+	// willing to negotiate: wire.ProtoBinary (the default) accepts a
+	// peer's binary offer at register/submit time, wire.ProtoJSON pins
+	// every conversation to newline-delimited JSON (the debug and
+	// interop format). Receivers are always bilingual, so a JSON-pinned
+	// coordinator still interoperates with binary-capable peers — it
+	// just never echoes their offer, and the conversation stays JSON.
+	Proto string
 	// MaxAttempts bounds how many times one job may run; default 3. A
 	// job whose attempt fails because a worker died (not because its
 	// spec or run is invalid) is re-run with the configuration
@@ -71,6 +79,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 3
+	}
+	if o.Proto == "" {
+		o.Proto = wire.ProtoBinary
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -219,6 +230,10 @@ func (j *job) cancelNow(reason string) {
 // a disconnect can cancel all of them.
 type clientConn struct {
 	mc *msgConn
+	// proto echoes the client's accepted frame-format offer on every
+	// admission reply, so a client that pipelines submits sees the
+	// echo no matter which reply arrives first.
+	proto string
 
 	mu   sync.Mutex
 	jobs map[uint64]*job
@@ -410,15 +425,27 @@ func (c *Coordinator) serveWorker(mc *msgConn, reg wire.Message) {
 	c.bumpFleetLocked()
 	c.mu.Unlock()
 
+	// Frame-format negotiation: a register carrying the binary offer
+	// means the worker reads binary frames, so this side may write them
+	// from the welcome on; echoing the offer licenses the worker's own
+	// writes the same way. An old worker never offers and an old
+	// coordinator never echoes — either way the conversation stays
+	// JSON.
+	var proto string
+	if reg.Proto == wire.ProtoBinary && c.opts.Proto == wire.ProtoBinary {
+		proto = wire.ProtoBinary
+		mc.binary.Store(true)
+	}
 	if err := mc.write(wire.Message{
 		Type:           wire.MsgWelcome,
 		Worker:         w.id,
 		HeartbeatNanos: int64(c.opts.HeartbeatInterval),
+		Proto:          proto,
 	}); err != nil {
 		c.markDead(w, fmt.Errorf("welcome: %w", err))
 		return
 	}
-	c.opts.Logf("cluster: worker %q registered from %s", w.name, mc.remoteAddr())
+	c.opts.Logf("cluster: worker %q registered from %s (proto %s)", w.name, mc.remoteAddr(), protoName(proto))
 
 	for {
 		m, err := mc.read()
@@ -584,6 +611,15 @@ func (w *workerConn) route(key string, m wire.Message) {
 // cancelled, so a vanished client stops occupying workers.
 func (c *Coordinator) serveClient(mc *msgConn, first wire.Message) {
 	cl := &clientConn{mc: mc, jobs: map[uint64]*job{}}
+	// Frame-format negotiation, the client-side analog of the worker's
+	// register/welcome exchange: the first submit's binary offer is
+	// accepted by switching this side's writes to binary and echoing
+	// the offer on admission replies (the client switches its own
+	// writes when it sees the echo).
+	if first.Proto == wire.ProtoBinary && c.opts.Proto == wire.ProtoBinary {
+		cl.proto = wire.ProtoBinary
+		mc.binary.Store(true)
+	}
 	m := first
 loop:
 	for {
@@ -634,7 +670,7 @@ func (c *Coordinator) admit(cl *clientConn, m wire.Message) bool {
 		c.mu.Lock()
 		c.stats.JobsRejected++
 		c.mu.Unlock()
-		return cl.mc.write(wire.Message{Type: wire.MsgRejected, Job: id, Err: fmt.Sprintf(format, args...)}) == nil
+		return cl.mc.write(wire.Message{Type: wire.MsgRejected, Job: id, Err: fmt.Sprintf(format, args...), Proto: cl.proto}) == nil
 	}
 	c.mu.Lock()
 	c.nextJob++
@@ -675,7 +711,7 @@ func (c *Coordinator) admit(cl *clientConn, m wire.Message) bool {
 		cl.mu.Unlock()
 		return reject(id, "queue full (depth %d)", c.opts.QueueDepth)
 	}
-	if cl.mc.write(wire.Message{Type: wire.MsgAccepted, Job: id}) != nil {
+	if cl.mc.write(wire.Message{Type: wire.MsgAccepted, Job: id, Proto: cl.proto}) != nil {
 		// The ack never reached the client, so nobody is waiting for
 		// this job: without cancellation it would still run over the
 		// whole fleet for a peer that is already gone. (The caller

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"taskbench/internal/wire"
+)
+
+// binaryWrites reports whether the worker's control writes have
+// switched to the binary frame format (the welcome echoed its offer).
+func (w *Worker) binaryWrites() bool {
+	w.mu.Lock()
+	mc := w.mc
+	w.mu.Unlock()
+	return mc != nil && mc.binary.Load()
+}
+
+// waitCond polls until cond holds, failing the test at the deadline.
+func waitCond(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterNegotiatesBinary pins the default negotiation: workers
+// offer binary at register, the coordinator echoes on the welcome, and
+// both directions of every conversation — worker control traffic and
+// the client's submit/accepted/done exchange — switch to binary
+// frames. The job completing end-to-end is the proof that each side
+// parses the other's binary frames; the flag assertions pin that the
+// switch actually happened rather than the run riding on JSON.
+func TestClusterNegotiatesBinary(t *testing.T) {
+	coord, workers := testFleet(t, 2)
+	for _, w := range workers {
+		waitCond(t, "worker binary switch", 10*time.Second, w.binaryWrites)
+	}
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, err := cli.Submit(stencilSpec(2, 64))
+	if err != nil || res.Err != nil {
+		t.Fatalf("submit over binary protocol: %v / %v", err, res.Err)
+	}
+	if !cli.mc.binary.Load() {
+		t.Fatal("client writes never switched to binary after the accepted echo")
+	}
+}
+
+// TestClusterJSONPinnedCoordinator pins the opt-out: a coordinator
+// started with Proto json never echoes the binary offers, so every
+// conversation stays in the line-delimited debug format end to end.
+func TestClusterJSONPinnedCoordinator(t *testing.T) {
+	coord, workers := testFleetOpts(t, 2, func(o *Options) { o.Proto = wire.ProtoJSON })
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, err := cli.Submit(stencilSpec(2, 64))
+	if err != nil || res.Err != nil {
+		t.Fatalf("submit to JSON-pinned coordinator: %v / %v", err, res.Err)
+	}
+	if cli.mc.binary.Load() {
+		t.Fatal("client switched to binary against a JSON-pinned coordinator")
+	}
+	for _, w := range workers {
+		if w.binaryWrites() {
+			t.Fatal("worker switched to binary against a JSON-pinned coordinator")
+		}
+	}
+}
+
+// TestClusterJSONPinnedWorker pins the other opt-out: a worker that
+// never offers binary keeps its conversation JSON even when the
+// coordinator (default binary) would have accepted, and still serves
+// jobs alongside binary-speaking peers.
+func TestClusterJSONPinnedWorker(t *testing.T) {
+	coord, _ := testFleet(t, 1)
+	pinned := NewWorker(WorkerOptions{
+		Coordinator: coord.Addr(),
+		Name:        "json-pinned",
+		Proto:       wire.ProtoJSON,
+		Logf:        t.Logf,
+	})
+	go pinned.Run()
+	t.Cleanup(pinned.Close)
+	if _, err := coord.WaitWorkers(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, err := cli.Submit(stencilSpec(2, 64))
+	if err != nil || res.Err != nil {
+		t.Fatalf("mixed-proto fleet job: %v / %v", err, res.Err)
+	}
+	if pinned.binaryWrites() {
+		t.Fatal("JSON-pinned worker switched to binary")
+	}
+}
+
+// TestClusterServesRawJSONClient pins backward compatibility: a client
+// that speaks only v2-style JSON — no Proto offer on its submit — must
+// get JSON replies it can parse with a plain json.Decoder. This is the
+// interop path for foreign tooling scripting the coordinator.
+func TestClusterServesRawJSONClient(t *testing.T) {
+	coord, _ := testFleet(t, 2)
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	spec := stencilSpec(2, 64)
+	if err := wire.WriteMessage(conn, wire.Message{Type: wire.MsgSubmit, Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	// A json.Decoder is the proof the replies are JSON lines: a binary
+	// frame's 0xB1 magic would fail it immediately.
+	dec := json.NewDecoder(conn)
+	accepted, err := wire.ReadMessage(dec)
+	if err != nil {
+		t.Fatalf("reading accepted as JSON: %v", err)
+	}
+	if accepted.Type != wire.MsgAccepted {
+		t.Fatalf("expected accepted, got %q (err %q)", accepted.Type, accepted.Err)
+	}
+	done, err := wire.ReadMessage(dec)
+	if err != nil {
+		t.Fatalf("reading done as JSON: %v", err)
+	}
+	if done.Type != wire.MsgDone || done.Job != accepted.Job || done.Err != "" {
+		t.Fatalf("bad done reply: %+v", done)
+	}
+}

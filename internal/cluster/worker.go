@@ -28,6 +28,11 @@ type WorkerOptions struct {
 	// cover the slowest peer's plan build, or a large configuration's
 	// connect phase fails spuriously.
 	SetupTimeout time.Duration
+	// Proto selects the control-plane frame format this worker offers
+	// at registration: wire.ProtoBinary (the default) or wire.ProtoJSON
+	// to pin the conversation to newline-delimited JSON for debugging.
+	// The offer only takes effect if the coordinator echoes it.
+	Proto string
 	// Logf, when set, receives worker lifecycle logging.
 	Logf func(format string, args ...any)
 }
@@ -38,6 +43,9 @@ func (o *WorkerOptions) fill() {
 	}
 	if o.SetupTimeout <= 0 {
 		o.SetupTimeout = 60 * time.Second
+	}
+	if o.Proto == "" {
+		o.Proto = wire.ProtoBinary
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -118,7 +126,11 @@ func (w *Worker) Run() error {
 	w.mu.Unlock()
 	defer w.teardown()
 
-	if err := w.mc.write(wire.Message{Type: wire.MsgRegister, Name: w.opts.Name}); err != nil {
+	var offer string
+	if w.opts.Proto == wire.ProtoBinary {
+		offer = wire.ProtoBinary
+	}
+	if err := w.mc.write(wire.Message{Type: wire.MsgRegister, Name: w.opts.Name, Proto: offer}); err != nil {
 		return fmt.Errorf("cluster: register: %w", err)
 	}
 	welcome, err := w.mc.read()
@@ -128,12 +140,19 @@ func (w *Worker) Run() error {
 	if welcome.Type != wire.MsgWelcome {
 		return fmt.Errorf("cluster: expected welcome, got %q", welcome.Type)
 	}
+	// The welcome echoing the binary offer licenses this side's writes
+	// (heartbeats, prepared/ready/result replies — the high-rate
+	// direction) to switch formats; reads were bilingual all along.
+	if offer != "" && welcome.Proto == wire.ProtoBinary {
+		w.mc.binary.Store(true)
+	}
 	w.id = welcome.Worker
 	interval := time.Duration(welcome.HeartbeatNanos)
 	if interval <= 0 {
 		interval = time.Second
 	}
-	w.opts.Logf("cluster: registered as worker %d, heartbeating every %v", w.id, interval)
+	w.opts.Logf("cluster: registered as worker %d (proto %s), heartbeating every %v",
+		w.id, protoName(welcome.Proto), interval)
 
 	go w.heartbeat(interval)
 

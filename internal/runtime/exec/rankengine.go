@@ -30,6 +30,19 @@ type Transport interface {
 	Close()
 }
 
+// Flusher is an optional Transport extension for transports that batch
+// outbound sends (tcp's mesh coalesces every payload headed to the
+// same peer rank into one frame). The engine calls Flush(rank) on the
+// rank's own goroutine after every policy Step, so the flush point is
+// the timestep boundary: a batching transport may defer any Send until
+// then. That is safe for every policy whose receives at step t consume
+// only payloads sent at steps before t (dependencies span consecutive
+// timesteps); a policy that consumed same-step sends would need an
+// explicit mid-step flush, which no current policy does.
+type Flusher interface {
+	Flush(rank int) error
+}
+
 // fabricTransport adapts the in-process Fabric to the Transport
 // interface.
 type fabricTransport struct{ f *Fabric }
@@ -353,6 +366,7 @@ func newRankEngine(plan *RankPlan, policy RankPolicy, threads int) *RankEngine {
 // Call Plan.Reset before running again.
 func (e *RankEngine) Run(validate bool) error {
 	firstErr := &ErrOnce{}
+	flusher, _ := e.transport.(Flusher)
 	var wg sync.WaitGroup
 	for r := e.local.Lo; r < e.local.Hi; r++ {
 		rc := e.ctxs[r]
@@ -363,6 +377,11 @@ func (e *RankEngine) Run(validate bool) error {
 			defer wg.Done()
 			for t := 0; t < e.plan.MaxSteps; t++ {
 				e.policy.Step(rc, t)
+				if flusher != nil {
+					if err := flusher.Flush(rc.Rank); err != nil {
+						firstErr.Set(err)
+					}
+				}
 			}
 		}(rc)
 	}

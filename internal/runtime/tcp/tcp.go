@@ -8,8 +8,12 @@
 //
 // Topology: a full mesh. Every ordered rank pair (s → r) gets one
 // connection, written only by s and read by a demultiplexer goroutine
-// at the process hosting r that routes frames to per-edge queues. The
-// mesh is constructible in two shapes:
+// at the process hosting r that routes frames to per-edge queues.
+// Outbound payloads are batched: everything a rank sends to one peer
+// within a timestep coalesces into a single multi-edge frame written
+// with one writev at the timestep boundary (exec.Flusher), so at fine
+// granularity the per-task syscall cost amortizes across the whole
+// step. The mesh is constructible in two shapes:
 //
 //   - In-process (the "tcp" backend): one process hosts every rank on
 //     loopback. Scheduling is exactly the p2p backend's eager rank
@@ -27,6 +31,7 @@
 package tcp
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -96,8 +101,34 @@ func (*policy) OpenTransport(plan *exec.RankPlan) (exec.Transport, error) {
 }
 
 // frameHeader is the fixed wire header preceding every payload:
-// payload length, graph index, producer column, consumer column.
+// payload length, graph index, producer column, consumer column. A
+// batched frame reuses the same 16 bytes with the graph field set to
+// batchMarker: body length, marker, edge count, descriptor-section
+// length.
 const frameHeaderSize = 16
+
+// MaxFrameLen bounds the length field of any frame (single payload or
+// batch body). A corrupt or hostile length prefix beyond it tears the
+// mesh down cleanly instead of driving an unbounded allocation. Far
+// above any real payload: a graph column's output is OutputBytes,
+// typically bytes to megabytes.
+const MaxFrameLen = 1 << 28
+
+// batchMarker in the header's graph field marks a batched frame. Real
+// graph indices are small (one per task graph of an app), so the
+// all-ones value can never collide.
+const batchMarker = 0xFFFFFFFF
+
+// descSize is the bytes per packed edge descriptor in a batch body:
+// payload length, graph, producer, consumer — the same four fields a
+// single-payload header carries.
+const descSize = 16
+
+// flushBytes caps how much payload a pending batch may accumulate
+// before it is written out mid-step. Batches normally flush at
+// timestep boundaries (exec.Flusher); the cap bounds buffering when a
+// rank owns many wide columns.
+const flushBytes = 128 << 10
 
 // handshakeMagic opens every connection of a mesh, so a stray dialer
 // (or a peer from a different configuration) is rejected instead of
@@ -139,6 +170,11 @@ type Topology struct {
 	// coordinator-declared peer death interrupts a mesh still dialing
 	// the dead process instead of waiting out the full Timeout.
 	Cancel <-chan struct{}
+	// NoBatch disables outbound payload batching: every Send writes its
+	// own frame immediately instead of coalescing per-peer until the
+	// timestep boundary. For measuring the batching win
+	// (BenchmarkMeshSend) and debugging; production meshes batch.
+	NoBatch bool
 }
 
 // MeshTransport is the TCP mesh of one engine, implementing
@@ -155,6 +191,12 @@ type MeshTransport struct {
 	// out[from][to] is the connection written by rank `from`; only
 	// rows in the local span are populated.
 	out [][]net.Conn
+	// pend[from][to] accumulates the batch of payloads rank `from` has
+	// queued for rank `to` this timestep; only local rows are
+	// populated, and each cell is touched only by rank `from`'s
+	// goroutine (the same single-writer discipline as out).
+	pend    [][]pendBatch
+	noBatch bool
 	// edges[graph][consumer][producer] receives demultiplexed
 	// payloads at the consumer's rank.
 	edges []map[int]map[int]chan []byte
@@ -206,11 +248,16 @@ func NewMeshTransport(plan *exec.RankPlan, topo Topology) (*MeshTransport, error
 		return nil, fmt.Errorf("tcp: topology has %d addrs, want %d", len(topo.Addrs), ranks)
 	}
 	tr := &MeshTransport{
-		ranks:  ranks,
-		local:  topo.Local,
-		widths: make([]int, len(app.Graphs)),
-		done:   make(chan struct{}),
-		ln:     topo.Listener,
+		ranks:   ranks,
+		local:   topo.Local,
+		widths:  make([]int, len(app.Graphs)),
+		done:    make(chan struct{}),
+		ln:      topo.Listener,
+		noBatch: topo.NoBatch,
+	}
+	tr.pend = make([][]pendBatch, ranks)
+	for from := topo.Local.Lo; from < topo.Local.Hi; from++ {
+		tr.pend[from] = make([]pendBatch, ranks)
 	}
 
 	// Edge queues, from the plan's shared cross-rank edge enumeration
@@ -398,35 +445,93 @@ func readHandshake(conn net.Conn) (config uint64, from, to int, err error) {
 }
 
 // demux reads frames from one connection and routes them to edge
-// queues. A read failure while the mesh is still live means a peer
-// process died mid-run; the whole mesh is torn down so blocked ranks
-// unwedge and surface the error instead of hanging.
+// queues. The connection is read through a bufio.Reader, so one read
+// syscall typically drains several small frames. A read failure while
+// the mesh is still live means a peer process died mid-run; the whole
+// mesh is torn down so blocked ranks unwedge and surface the error
+// instead of hanging. Malformed frames — oversized lengths, headers
+// that do not add up — also tear the mesh down: framing is
+// self-inflicted, so a bad header means the stream is unrecoverably
+// desynchronized.
 func (tr *MeshTransport) demux(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
 	var header [frameHeaderSize]byte
+	var desc []byte // reusable batch descriptor scratch
 	for {
-		if _, err := io.ReadFull(conn, header[:]); err != nil {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
 			tr.fail(fmt.Errorf("tcp: peer connection lost: %w", err))
 			return
 		}
 		length := binary.LittleEndian.Uint32(header[0:4])
-		graph := int32(binary.LittleEndian.Uint32(header[4:8]))
-		producer := int32(binary.LittleEndian.Uint32(header[8:12]))
-		consumer := int32(binary.LittleEndian.Uint32(header[12:16]))
-		payload := tr.frameBuf(int(graph), int(length))
-		if _, err := io.ReadFull(conn, payload); err != nil {
-			tr.fail(fmt.Errorf("tcp: read payload: %w", err))
+		if length > MaxFrameLen {
+			tr.fail(fmt.Errorf("tcp: frame length %d exceeds limit %d", length, MaxFrameLen))
 			return
 		}
-		ch := tr.edge(int(graph), int(producer), int(consumer))
-		if ch == nil {
-			tr.fail(fmt.Errorf("tcp: frame for unknown edge g%d %d→%d", graph, producer, consumer))
+		if binary.LittleEndian.Uint32(header[4:8]) == batchMarker {
+			count := binary.LittleEndian.Uint32(header[8:12])
+			descLen := binary.LittleEndian.Uint32(header[12:16])
+			if uint64(descLen) != uint64(count)*descSize || descLen > length {
+				tr.fail(fmt.Errorf("tcp: malformed batch header (%d edges, %d descriptor bytes, %d body)",
+					count, descLen, length))
+				return
+			}
+			if cap(desc) < int(descLen) {
+				desc = make([]byte, descLen)
+			}
+			desc = desc[:descLen]
+			if _, err := io.ReadFull(br, desc); err != nil {
+				tr.fail(fmt.Errorf("tcp: read batch descriptors: %w", err))
+				return
+			}
+			body := int(length) - int(descLen)
+			for k := 0; k < int(count); k++ {
+				d := desc[k*descSize : (k+1)*descSize]
+				plen := int(binary.LittleEndian.Uint32(d[0:4]))
+				if plen > body {
+					tr.fail(fmt.Errorf("tcp: batch payloads overrun body by %d bytes", plen-body))
+					return
+				}
+				body -= plen
+				if !tr.deliver(br, d[4:], plen) {
+					return
+				}
+			}
+			if body != 0 {
+				tr.fail(fmt.Errorf("tcp: batch body has %d trailing bytes", body))
+				return
+			}
+			continue
+		}
+		if !tr.deliver(br, header[4:], int(length)) {
 			return
 		}
-		select {
-		case ch <- payload:
-		case <-tr.done:
-			return
-		}
+	}
+}
+
+// deliver reads one payload of plen bytes from br into a recycled
+// buffer and routes it to the edge identified by the 12 bytes of
+// route: graph, producer, consumer. It returns false when the demux
+// loop must stop (read failure, unknown edge, or teardown), having
+// already failed the mesh where that is warranted.
+func (tr *MeshTransport) deliver(br *bufio.Reader, route []byte, plen int) bool {
+	graph := int(int32(binary.LittleEndian.Uint32(route[0:4])))
+	producer := int(int32(binary.LittleEndian.Uint32(route[4:8])))
+	consumer := int(int32(binary.LittleEndian.Uint32(route[8:12])))
+	payload := tr.frameBuf(graph, plen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		tr.fail(fmt.Errorf("tcp: read payload: %w", err))
+		return false
+	}
+	ch := tr.edge(graph, producer, consumer)
+	if ch == nil {
+		tr.fail(fmt.Errorf("tcp: frame for unknown edge g%d %d→%d", graph, producer, consumer))
+		return false
+	}
+	select {
+	case ch <- payload:
+		return true
+	case <-tr.done:
+		return false
 	}
 }
 
@@ -504,25 +609,100 @@ func (tr *MeshTransport) Remote(graph, producer, consumer int) bool {
 	return exec.OwnerOf(producer, w, tr.ranks) != exec.OwnerOf(consumer, w, tr.ranks)
 }
 
-// Send frames the payload onto the producer rank's connection to the
-// consumer's rank. Only the owning rank goroutine writes a given
-// connection, so no locking is needed.
+// pendBatch accumulates one rank pair's outbound payloads between
+// flushes: packed edge descriptors, zero-copy references to the
+// payload buffers, and a reusable iovec. The references stay valid
+// until the flush because payload rows are double-buffered — a buffer
+// sent at timestep t is not rewritten until t+2, and the batch flushes
+// at the t/t+1 boundary (exec.Flusher) or sooner (flushBytes).
+type pendBatch struct {
+	desc     []byte
+	payloads [][]byte
+	bytes    int
+	iov      net.Buffers
+}
+
+// Send queues the payload for the consumer's rank, coalescing
+// everything headed to the same peer this timestep into one batched
+// frame written at the flush point. Only the owning rank goroutine
+// writes a given connection (or touches its pending batches), so no
+// locking is needed. With batching disabled the frame still leaves in
+// a single writev — header and payload in one syscall, not two.
 func (tr *MeshTransport) Send(fromRank, graph, producer, consumer int, payload []byte) error {
 	toRank := exec.OwnerOf(consumer, tr.widths[graph], tr.ranks)
 	conn := tr.out[fromRank][toRank]
 	if conn == nil {
 		return fmt.Errorf("tcp: no connection rank %d→%d (mesh torn down?)", fromRank, toRank)
 	}
-	var header [frameHeaderSize]byte
-	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(header[4:8], uint32(graph))
-	binary.LittleEndian.PutUint32(header[8:12], uint32(producer))
-	binary.LittleEndian.PutUint32(header[12:16], uint32(consumer))
-	if _, err := conn.Write(header[:]); err != nil {
-		return fmt.Errorf("tcp: write header: %w", err)
+	if tr.noBatch {
+		var header [frameHeaderSize]byte
+		binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(header[4:8], uint32(graph))
+		binary.LittleEndian.PutUint32(header[8:12], uint32(producer))
+		binary.LittleEndian.PutUint32(header[12:16], uint32(consumer))
+		iov := net.Buffers{header[:], payload}
+		if _, err := iov.WriteTo(conn); err != nil {
+			return fmt.Errorf("tcp: write frame: %w", err)
+		}
+		return nil
 	}
-	if _, err := conn.Write(payload); err != nil {
-		return fmt.Errorf("tcp: write payload: %w", err)
+	p := &tr.pend[fromRank][toRank]
+	p.desc = binary.LittleEndian.AppendUint32(p.desc, uint32(len(payload)))
+	p.desc = binary.LittleEndian.AppendUint32(p.desc, uint32(graph))
+	p.desc = binary.LittleEndian.AppendUint32(p.desc, uint32(producer))
+	p.desc = binary.LittleEndian.AppendUint32(p.desc, uint32(consumer))
+	p.payloads = append(p.payloads, payload)
+	p.bytes += len(payload)
+	if p.bytes >= flushBytes {
+		return tr.flushTo(fromRank, toRank)
+	}
+	return nil
+}
+
+// Flush implements exec.Flusher: it writes out every batch rank has
+// pending, one writev per peer with queued payloads. The engine calls
+// it at each timestep boundary on the rank's own goroutine.
+func (tr *MeshTransport) Flush(rank int) error {
+	if tr.noBatch || rank < tr.local.Lo || rank >= tr.local.Hi {
+		return nil
+	}
+	for to := 0; to < tr.ranks; to++ {
+		if to == rank {
+			continue
+		}
+		if err := tr.flushTo(rank, to); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushTo writes the pending batch for one rank pair as a single
+// writev: batch header, descriptor section, then every payload,
+// borrowed zero-copy from the senders. Called only from rank `from`'s
+// goroutine.
+func (tr *MeshTransport) flushTo(from, to int) error {
+	p := &tr.pend[from][to]
+	if len(p.payloads) == 0 {
+		return nil
+	}
+	conn := tr.out[from][to]
+	var header [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(p.desc)+p.bytes))
+	binary.LittleEndian.PutUint32(header[4:8], batchMarker)
+	binary.LittleEndian.PutUint32(header[8:12], uint32(len(p.payloads)))
+	binary.LittleEndian.PutUint32(header[12:16], uint32(len(p.desc)))
+	iov := append(p.iov[:0], header[:], p.desc)
+	iov = append(iov, p.payloads...)
+	// WriteTo consumes the Buffers slice it is invoked on (advancing it
+	// as vectors drain), so keep our own reference to the backing array
+	// for the next flush.
+	p.iov = iov[:0]
+	p.desc = p.desc[:0]
+	p.payloads = p.payloads[:0]
+	p.bytes = 0
+	if _, err := iov.WriteTo(conn); err != nil {
+		return fmt.Errorf("tcp: write batch rank %d→%d: %w", from, to, err)
 	}
 	return nil
 }

@@ -1,0 +1,530 @@
+package wire
+
+// Binary framing for the cluster control protocol. The JSON codec in
+// proto.go remains the debug, golden and interop format — every
+// connection opens in JSON, and peers that both speak the binary codec
+// switch to it after the register/welcome (worker) or submit/first
+// reply (client) exchange. The binary codec exists for one reason: at
+// vanishing task granularity the per-message cost of the control plane
+// (reflect-driven JSON encode/decode, fresh allocations per message)
+// is system overhead of exactly the kind Task Bench exists to measure,
+// so the wire layer must not pay it.
+//
+// Frame layout (everything little-endian; varints are encoding/binary
+// Uvarint/Varint):
+//
+//	0xB1 | uvarint bodyLen | body
+//
+// The magic byte 0xB1 can never open a JSON control message (those
+// always start with '{'), so a reader can dispatch per message between
+// the two framings by peeking one byte — which is what makes the
+// migration safe: a receiver is always bilingual, and negotiation only
+// decides what a sender emits.
+//
+// The body is a fixed field schedule, no tags and no reflection:
+//
+//	uvarint version | byte typeCode | fields of Message in struct order
+//
+// Strings are uvarint length + bytes; float64s are 8 fixed bytes of
+// IEEE-754 bits; the optional *AppSpec is a presence byte followed by
+// the spec's own fixed schedule. Zero fields cost one byte each, so a
+// heartbeat is ~20 bytes. Encoders append into free-listed buffers
+// (sync.Pool) and write one frame per syscall; decode allocates only
+// the strings and slices of the resulting Message.
+//
+// A corrupt or hostile length prefix must not drive an unbounded
+// allocation: bodies beyond MaxControlFrame and any string or list
+// length exceeding the remaining body are rejected as errors, and the
+// connection owner tears the session down.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// BinMagic opens every binary control frame. JSON control messages
+// always start with '{', so one peeked byte dispatches the format.
+const BinMagic = 0xB1
+
+// MaxControlFrame bounds one binary control message's body. The
+// largest legitimate messages (a submit carrying a many-graph spec, a
+// connect carrying thousands of addresses) are a few hundred KiB; a
+// length prefix beyond this is corruption, and rejecting it keeps a
+// bad frame from driving an unbounded allocation.
+const MaxControlFrame = 16 << 20
+
+// Protocol format names carried in Message.Proto during negotiation.
+const (
+	ProtoJSON   = "json"
+	ProtoBinary = "binary"
+)
+
+// Message type codes of the binary codec, in protocol order. Code 0 is
+// deliberately invalid so a zeroed frame cannot decode as a register.
+var msgCodes = map[string]byte{
+	MsgRegister:  1,
+	MsgWelcome:   2,
+	MsgHeartbeat: 3,
+	MsgPrepare:   4,
+	MsgPrepared:  5,
+	MsgConnect:   6,
+	MsgReady:     7,
+	MsgRun:       8,
+	MsgResult:    9,
+	MsgRelease:   10,
+	MsgSubmit:    11,
+	MsgAccepted:  12,
+	MsgRejected:  13,
+	MsgCancel:    14,
+	MsgDone:      15,
+}
+
+var msgNames = func() map[byte]string {
+	names := make(map[byte]string, len(msgCodes))
+	for name, code := range msgCodes {
+		names[code] = name
+	}
+	return names
+}()
+
+// binBufs recycles encode buffers: steady-state control traffic
+// (heartbeats, run/result exchanges of a sweep) encodes into warm
+// buffers instead of allocating per message.
+var binBufs = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+const maxFrameHeader = 1 + binary.MaxVarintLen64 // magic + bodyLen
+
+// AppendMessageBinary appends one complete binary frame (magic, length
+// prefix, body) for m to dst and returns the extended slice.
+func AppendMessageBinary(dst []byte, m Message) ([]byte, error) {
+	code, ok := msgCodes[m.Type]
+	if !ok {
+		return dst, fmt.Errorf("wire: message type %q has no binary code", m.Type)
+	}
+	start := len(dst)
+	// Reserve a maximal header, encode the body after it, then write
+	// the real header right-aligned against the body — one buffer, no
+	// second pass over the payload.
+	for i := 0; i < maxFrameHeader; i++ {
+		dst = append(dst, 0)
+	}
+	dst = appendMessageBody(dst, code, m)
+	body := len(dst) - start - maxFrameHeader
+	hdrLen := 1 + uvarintLen(uint64(body))
+	hdrStart := start + maxFrameHeader - hdrLen
+	dst[hdrStart] = BinMagic
+	binary.PutUvarint(dst[hdrStart+1:start+maxFrameHeader], uint64(body))
+	return append(dst[:start], dst[hdrStart:]...), nil
+}
+
+// WriteMessageBinary frames m onto w as one binary frame in a single
+// Write, drawing the encode buffer from a free list. Callers serialize
+// concurrent writers, as with WriteMessage.
+func WriteMessageBinary(w io.Writer, m Message) error {
+	m.V = ProtoVersion
+	bufp := binBufs.Get().(*[]byte)
+	buf, err := AppendMessageBinary((*bufp)[:0], m)
+	if err == nil {
+		_, err = w.Write(buf)
+	}
+	*bufp = buf[:0]
+	binBufs.Put(bufp)
+	return err
+}
+
+// DecodeMessageBinary decodes one complete binary frame (magic, length
+// prefix, body). It is the symmetric counterpart of
+// AppendMessageBinary, used by tests and fuzzers; connection readers
+// use ReadMessageFrom, which frames incrementally off the stream.
+func DecodeMessageBinary(frame []byte) (Message, error) {
+	if len(frame) == 0 || frame[0] != BinMagic {
+		return Message{}, fmt.Errorf("wire: not a binary frame")
+	}
+	bodyLen, n := binary.Uvarint(frame[1:])
+	if n <= 0 {
+		return Message{}, fmt.Errorf("wire: bad frame length prefix")
+	}
+	if bodyLen > MaxControlFrame {
+		return Message{}, fmt.Errorf("wire: frame body %d bytes exceeds limit %d", bodyLen, MaxControlFrame)
+	}
+	body := frame[1+n:]
+	if uint64(len(body)) != bodyLen {
+		return Message{}, fmt.Errorf("wire: frame declares %d body bytes, has %d", bodyLen, len(body))
+	}
+	return decodeMessageBody(body)
+}
+
+// ReadMessageFrom reads the next control message from br, dispatching
+// per message between the two framings: a peeked 0xB1 is a binary
+// frame, anything else is a newline-delimited JSON message. Both sides
+// of every control connection read through this, which is what lets
+// negotiation concern only the sending direction.
+func ReadMessageFrom(br *bufio.Reader) (Message, error) {
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return Message{}, err
+		}
+		switch c {
+		case BinMagic:
+			return readBinaryMessage(br)
+		case '\n', '\r', ' ', '\t':
+			continue // inter-message whitespace
+		default:
+			if err := br.UnreadByte(); err != nil {
+				return Message{}, err
+			}
+			return readJSONLine(br)
+		}
+	}
+}
+
+func readBinaryMessage(br *bufio.Reader) (Message, error) {
+	bodyLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Message{}, fmt.Errorf("wire: frame length: %w", err)
+	}
+	if bodyLen > MaxControlFrame {
+		return Message{}, fmt.Errorf("wire: frame body %d bytes exceeds limit %d", bodyLen, MaxControlFrame)
+	}
+	bufp := binBufs.Get().(*[]byte)
+	buf := *bufp
+	if uint64(cap(buf)) < bodyLen {
+		buf = make([]byte, bodyLen)
+	}
+	buf = buf[:bodyLen]
+	_, err = io.ReadFull(br, buf)
+	var m Message
+	if err == nil {
+		// Decoded strings and slices are copies, so the buffer can
+		// recycle immediately.
+		m, err = decodeMessageBody(buf)
+	}
+	*bufp = buf[:0]
+	binBufs.Put(bufp)
+	if err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+func readJSONLine(br *bufio.Reader) (Message, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil && (err != io.EOF || len(line) == 0) {
+		return Message{}, err
+	}
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return Message{}, fmt.Errorf("wire: %w", err)
+	}
+	if m.V > ProtoVersion {
+		return Message{}, fmt.Errorf("wire: message version %d newer than supported %d", m.V, ProtoVersion)
+	}
+	if m.Type == "" {
+		return Message{}, fmt.Errorf("wire: message without type")
+	}
+	return m, nil
+}
+
+// --- body encoding --------------------------------------------------
+
+func appendMessageBody(b []byte, code byte, m Message) []byte {
+	b = binary.AppendUvarint(b, uint64(m.V))
+	b = append(b, code)
+	b = appendString(b, m.Proto)
+	b = appendString(b, m.Name)
+	b = binary.AppendVarint(b, m.Worker)
+	b = binary.AppendVarint(b, m.HeartbeatNanos)
+	b = binary.AppendUvarint(b, m.Config)
+	b = binary.AppendUvarint(b, m.Job)
+	b = binary.AppendVarint(b, int64(m.Attempt))
+	b = binary.AppendVarint(b, int64(m.Ranks))
+	b = binary.AppendVarint(b, int64(m.RankLo))
+	b = binary.AppendVarint(b, int64(m.RankHi))
+	if m.Spec == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = appendSpec(b, *m.Spec)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Kernels)))
+	for _, k := range m.Kernels {
+		b = appendKernel(b, k)
+	}
+	b = appendString(b, m.Addr)
+	b = binary.AppendUvarint(b, uint64(len(m.Addrs)))
+	for _, a := range m.Addrs {
+		b = appendString(b, a)
+	}
+	b = binary.AppendVarint(b, m.ElapsedNanos)
+	b = binary.AppendVarint(b, int64(m.Workers))
+	b = appendString(b, m.Err)
+	return b
+}
+
+func appendSpec(b []byte, spec AppSpec) []byte {
+	b = binary.AppendUvarint(b, uint64(len(spec.Graphs)))
+	for _, g := range spec.Graphs {
+		b = binary.AppendVarint(b, int64(g.Steps))
+		b = binary.AppendVarint(b, int64(g.Width))
+		b = appendString(b, g.Type)
+		b = binary.AppendVarint(b, int64(g.Radix))
+		b = binary.AppendVarint(b, int64(g.Period))
+		b = appendFloat(b, g.Fraction)
+		b = appendString(b, g.Kernel)
+		b = binary.AppendVarint(b, g.Iterations)
+		b = binary.AppendVarint(b, g.SpanBytes)
+		b = binary.AppendVarint(b, g.WaitNanos)
+		b = appendFloat(b, g.Imbalance)
+		b = binary.AppendVarint(b, int64(g.Output))
+		b = binary.AppendVarint(b, g.Scratch)
+		b = binary.AppendUvarint(b, g.Seed)
+	}
+	b = binary.AppendVarint(b, int64(spec.Workers))
+	b = binary.AppendVarint(b, int64(spec.Nodes))
+	switch {
+	case spec.Validate == nil:
+		b = append(b, 0)
+	case *spec.Validate:
+		b = append(b, 2)
+	default:
+		b = append(b, 1)
+	}
+	return b
+}
+
+func appendKernel(b []byte, k KernelSpec) []byte {
+	b = appendString(b, k.Kernel)
+	b = binary.AppendVarint(b, k.Iterations)
+	b = binary.AppendVarint(b, k.SpanBytes)
+	b = binary.AppendVarint(b, k.WaitNanos)
+	b = appendFloat(b, k.Imbalance)
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// --- body decoding --------------------------------------------------
+
+// binReader is a bounds-checked cursor over one frame body. Every read
+// past the end sets err once and makes the remaining reads return zero
+// values, so decoders can run the whole field schedule and check err
+// at the end instead of threading it through every call.
+type binReader struct {
+	b   []byte
+	err error
+}
+
+func (r *binReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *binReader) int() int { return int(r.varint()) }
+
+func (r *binReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.fail("truncated frame")
+		return 0
+	}
+	c := r.b[0]
+	r.b = r.b[1:]
+	return c
+}
+
+func (r *binReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)) {
+		r.fail("string length %d exceeds remaining %d bytes", n, len(r.b))
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *binReader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail("truncated float")
+		return 0
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return f
+}
+
+// count reads a list length and rejects lengths that cannot fit in the
+// remaining body (each element costs at least minElem bytes), so a
+// corrupt count cannot drive an unbounded make().
+func (r *binReader) count(minElem int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b)/minElem+1) {
+		r.fail("list length %d exceeds remaining %d bytes", n, len(r.b))
+		return 0
+	}
+	return int(n)
+}
+
+func decodeMessageBody(body []byte) (Message, error) {
+	r := &binReader{b: body}
+	var m Message
+	m.V = int(r.uvarint())
+	if r.err == nil && m.V > ProtoVersion {
+		return Message{}, fmt.Errorf("wire: message version %d newer than supported %d", m.V, ProtoVersion)
+	}
+	code := r.byte()
+	if r.err == nil {
+		name, ok := msgNames[code]
+		if !ok {
+			return Message{}, fmt.Errorf("wire: unknown binary message code %d", code)
+		}
+		m.Type = name
+	}
+	m.Proto = r.string()
+	m.Name = r.string()
+	m.Worker = r.varint()
+	m.HeartbeatNanos = r.varint()
+	m.Config = r.uvarint()
+	m.Job = r.uvarint()
+	m.Attempt = r.int()
+	m.Ranks = r.int()
+	m.RankLo = r.int()
+	m.RankHi = r.int()
+	if r.byte() != 0 && r.err == nil {
+		spec := decodeSpec(r)
+		m.Spec = &spec
+	}
+	if n := r.count(1); n > 0 {
+		m.Kernels = make([]KernelSpec, n)
+		for i := range m.Kernels {
+			m.Kernels[i] = decodeKernel(r)
+		}
+	}
+	m.Addr = r.string()
+	if n := r.count(1); n > 0 {
+		m.Addrs = make([]string, n)
+		for i := range m.Addrs {
+			m.Addrs[i] = r.string()
+		}
+	}
+	m.ElapsedNanos = r.varint()
+	m.Workers = r.int()
+	m.Err = r.string()
+	if r.err != nil {
+		return Message{}, r.err
+	}
+	if len(r.b) != 0 {
+		return Message{}, fmt.Errorf("wire: %d trailing bytes after message body", len(r.b))
+	}
+	return m, nil
+}
+
+func decodeSpec(r *binReader) AppSpec {
+	var spec AppSpec
+	if n := r.count(1); n > 0 {
+		spec.Graphs = make([]GraphSpec, n)
+		for i := range spec.Graphs {
+			spec.Graphs[i] = decodeGraph(r)
+		}
+	}
+	spec.Workers = r.int()
+	spec.Nodes = r.int()
+	switch r.byte() {
+	case 1:
+		f := false
+		spec.Validate = &f
+	case 2:
+		tr := true
+		spec.Validate = &tr
+	}
+	return spec
+}
+
+func decodeGraph(r *binReader) GraphSpec {
+	var g GraphSpec
+	g.Steps = r.int()
+	g.Width = r.int()
+	g.Type = r.string()
+	g.Radix = r.int()
+	g.Period = r.int()
+	g.Fraction = r.float()
+	g.Kernel = r.string()
+	g.Iterations = r.varint()
+	g.SpanBytes = r.varint()
+	g.WaitNanos = r.varint()
+	g.Imbalance = r.float()
+	g.Output = r.int()
+	g.Scratch = r.varint()
+	g.Seed = r.uvarint()
+	return g
+}
+
+func decodeKernel(r *binReader) KernelSpec {
+	var k KernelSpec
+	k.Kernel = r.string()
+	k.Iterations = r.varint()
+	k.SpanBytes = r.varint()
+	k.WaitNanos = r.varint()
+	k.Imbalance = r.float()
+	return k
+}

@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// binaryTestMessages is one message per protocol type with every field
+// exercised somewhere, shared by the round-trip and golden tests.
+func binaryTestMessages() []Message {
+	f := false
+	return []Message{
+		{Type: MsgRegister, Name: "node1", Proto: ProtoBinary},
+		{Type: MsgWelcome, Worker: 3, HeartbeatNanos: 1000000000, Proto: ProtoBinary},
+		{Type: MsgHeartbeat, Worker: 3},
+		{Type: MsgPrepare, Config: 7, Ranks: 6, RankLo: 2, RankHi: 4, Spec: &AppSpec{
+			Workers:  6,
+			Nodes:    2,
+			Validate: &f,
+			Graphs: []GraphSpec{{
+				Steps: 20, Width: 6, Type: "stencil_1d_periodic",
+				Kernel: "compute_bound", Iterations: 64, Output: 128,
+				Radix: 3, Period: 5, Fraction: 0.25, Imbalance: 1.5,
+				SpanBytes: 4096, WaitNanos: 250, Scratch: 1 << 20, Seed: 42,
+			}},
+		}},
+		{Type: MsgPrepared, Config: 7, Addr: "127.0.0.1:40721"},
+		{Type: MsgConnect, Config: 7, Addrs: []string{"a:1", "a:1", "b:2", "b:2", "c:3", "c:3"}},
+		{Type: MsgReady, Config: 7},
+		{Type: MsgRun, Config: 7, Job: 9, Attempt: 1, Kernels: []KernelSpec{
+			{Kernel: "compute_bound", Iterations: 64},
+			{Kernel: "busy_wait", WaitNanos: 1500, Imbalance: 0.5, SpanBytes: 64},
+		}},
+		{Type: MsgResult, Config: 7, Job: 9, Attempt: 1, ElapsedNanos: 1234567},
+		{Type: MsgRelease, Config: 7},
+		{Type: MsgSubmit, Spec: &AppSpec{Graphs: []GraphSpec{{Steps: 2, Width: 2, Type: "trivial"}}}},
+		{Type: MsgAccepted, Job: 9, Proto: ProtoBinary},
+		{Type: MsgRejected, Job: 11, Err: "queue full (depth 64)"},
+		{Type: MsgCancel, Job: 9},
+		{Type: MsgDone, Job: 9, ElapsedNanos: 1234567, Workers: 6},
+		{Type: MsgDone, Job: 10, Err: `worker "node2" died`},
+	}
+}
+
+// TestBinaryRoundTrip pins decode(encode(m)) == m for every message
+// type with every field populated somewhere.
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, m := range binaryTestMessages() {
+		m.V = ProtoVersion
+		frame, err := AppendMessageBinary(nil, m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Type, err)
+		}
+		got, err := DecodeMessageBinary(frame)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%s round trip changed message:\n sent %+v\n got  %+v", m.Type, m, got)
+		}
+	}
+}
+
+// TestBinaryMatchesJSON pins codec equivalence: a message sent through
+// the binary framing decodes to exactly what the JSON framing decodes.
+func TestBinaryMatchesJSON(t *testing.T) {
+	for _, m := range binaryTestMessages() {
+		var jbuf, bbuf bytes.Buffer
+		if err := WriteMessage(&jbuf, m); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteMessageBinary(&bbuf, m); err != nil {
+			t.Fatal(err)
+		}
+		viaJSON, err := ReadMessageFrom(bufio.NewReader(&jbuf))
+		if err != nil {
+			t.Fatalf("%s: json read: %v", m.Type, err)
+		}
+		viaBinary, err := ReadMessageFrom(bufio.NewReader(&bbuf))
+		if err != nil {
+			t.Fatalf("%s: binary read: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(viaJSON, viaBinary) {
+			t.Errorf("%s: codecs disagree:\n json   %+v\n binary %+v", m.Type, viaJSON, viaBinary)
+		}
+	}
+}
+
+// TestReadMessageFromMixedStream pins the migration property the
+// negotiation relies on: one reader handles a stream that switches
+// format mid-conversation (JSON register, binary afterwards).
+func TestReadMessageFromMixedStream(t *testing.T) {
+	msgs := binaryTestMessages()
+	var stream bytes.Buffer
+	for i, m := range msgs {
+		var err error
+		if i%2 == 0 {
+			err = WriteMessage(&stream, m)
+		} else {
+			err = WriteMessageBinary(&stream, m)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&stream)
+	for i, want := range msgs {
+		got, err := ReadMessageFrom(br)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		want.V = ProtoVersion
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("message %d:\n want %+v\n got  %+v", i, want, got)
+		}
+	}
+	if _, err := ReadMessageFrom(br); err == nil {
+		t.Error("stream had extra messages")
+	}
+}
+
+// TestBinaryTruncation feeds every strict prefix of a valid frame to
+// the decoder: all must fail cleanly, none may panic or succeed.
+func TestBinaryTruncation(t *testing.T) {
+	for _, m := range binaryTestMessages() {
+		m.V = ProtoVersion
+		frame, err := AppendMessageBinary(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(frame); cut++ {
+			if _, err := DecodeMessageBinary(frame[:cut]); err == nil {
+				t.Fatalf("%s: decode of %d/%d-byte prefix succeeded", m.Type, cut, len(frame))
+			}
+		}
+		// And with the length prefix intact but the body truncated on
+		// the stream: the reader must error, not block or misparse.
+		for cut := 1; cut < len(frame); cut++ {
+			if _, err := ReadMessageFrom(bufio.NewReader(bytes.NewReader(frame[:cut]))); err == nil {
+				t.Fatalf("%s: stream read of %d/%d-byte prefix succeeded", m.Type, cut, len(frame))
+			}
+		}
+	}
+}
+
+// TestBinaryOversizedFrame pins the max-frame guard: a corrupt length
+// prefix beyond MaxControlFrame is rejected before any allocation of
+// that size can happen.
+func TestBinaryOversizedFrame(t *testing.T) {
+	frame := []byte{BinMagic}
+	frame = binary.AppendUvarint(frame, MaxControlFrame+1)
+	if _, err := DecodeMessageBinary(frame); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized frame not rejected: %v", err)
+	}
+	if _, err := ReadMessageFrom(bufio.NewReader(bytes.NewReader(frame))); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized stream frame not rejected: %v", err)
+	}
+
+	// A plausible length prefix hiding an oversized string must also
+	// fail: list and string lengths are checked against the remaining
+	// body, not trusted.
+	lie := []byte{BinMagic}
+	body := binary.AppendUvarint(nil, ProtoVersion)
+	body = append(body, msgCodes[MsgRegister])
+	body = binary.AppendUvarint(body, 1<<40) // proto string "length"
+	lie = binary.AppendUvarint(lie, uint64(len(body)))
+	lie = append(lie, body...)
+	if _, err := DecodeMessageBinary(lie); err == nil {
+		t.Error("lying string length not rejected")
+	}
+}
+
+// TestBinaryVersionGate rejects frames from a newer major version,
+// mirroring the JSON reader's check.
+func TestBinaryVersionGate(t *testing.T) {
+	m := Message{V: ProtoVersion + 1, Type: MsgHeartbeat}
+	frame, err := AppendMessageBinary(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMessageBinary(frame); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("accepted binary message from the future: %v", err)
+	}
+}
+
+// TestBinaryRejectsUnknownType pins that a zeroed or unknown type code
+// is an error, not a silent misparse.
+func TestBinaryRejectsUnknownType(t *testing.T) {
+	body := binary.AppendUvarint(nil, ProtoVersion)
+	body = append(body, 0) // invalid code
+	frame := []byte{BinMagic}
+	frame = binary.AppendUvarint(frame, uint64(len(body)))
+	frame = append(frame, body...)
+	if _, err := DecodeMessageBinary(frame); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown type code not rejected: %v", err)
+	}
+	if _, err := AppendMessageBinary(nil, Message{Type: "no_such_type"}); err == nil {
+		t.Error("encoder accepted unknown message type")
+	}
+}
+
+// TestBinaryTrailingBytes rejects frames whose body is longer than the
+// field schedule: trailing garbage means a framing bug, and accepting
+// it would let two peers silently desynchronize.
+func TestBinaryTrailingBytes(t *testing.T) {
+	frame, err := AppendMessageBinary(nil, Message{V: ProtoVersion, Type: MsgHeartbeat, Worker: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild with one extra body byte and a matching length prefix.
+	bodyLen, n := binary.Uvarint(frame[1:])
+	body := append([]byte(nil), frame[1+n:]...)
+	if uint64(len(body)) != bodyLen {
+		t.Fatal("test framing confusion")
+	}
+	body = append(body, 0xEE)
+	tampered := []byte{BinMagic}
+	tampered = binary.AppendUvarint(tampered, uint64(len(body)))
+	tampered = append(tampered, body...)
+	if _, err := DecodeMessageBinary(tampered); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing bytes not rejected: %v", err)
+	}
+}

@@ -1,7 +1,10 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -72,4 +75,124 @@ func FuzzAppSpecRoundTrip(f *testing.F) {
 			t.Fatalf("JSON round trip changed spec:\n  out: %+v\n back: %+v", norm, back)
 		}
 	})
+}
+
+// FuzzMessageBinary drives the binary decoder with arbitrary bytes: it
+// must never panic, and anything it accepts must re-encode to a frame
+// that decodes back to the same message (decode∘encode fixed point).
+func FuzzMessageBinary(f *testing.F) {
+	for _, m := range binaryTestMessages() {
+		frame, err := AppendMessageBinary(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		// Seed mutations the mutator finds slowly on its own: truncated
+		// and bit-flipped variants of every message type.
+		f.Add(frame[:len(frame)/2])
+		flipped := append([]byte(nil), frame...)
+		flipped[len(flipped)-1] ^= 0x80
+		f.Add(flipped)
+	}
+	f.Add([]byte{BinMagic, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessageBinary(data)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		if hasNaN(m) {
+			// The fixed 8-byte encoding preserves NaN bits exactly, but
+			// reflect.DeepEqual cannot compare them (NaN != NaN).
+			return
+		}
+		frame, err := AppendMessageBinary(nil, m)
+		if err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v\n%+v", err, m)
+		}
+		back, err := DecodeMessageBinary(frame)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v\n%+v", err, m)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("binary round trip changed message:\n first %+v\n again %+v", m, back)
+		}
+	})
+}
+
+// FuzzMessageCodecEquivalence pins the two codecs to each other: any
+// message the JSON reader accepts travels through the binary framing
+// unchanged. The negotiation upgrades live conversations from JSON to
+// binary, so a field the formats disagree on would corrupt exactly the
+// messages that cross the switch.
+func FuzzMessageCodecEquivalence(f *testing.F) {
+	for _, m := range binaryTestMessages() {
+		j, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(j)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if bytes.ContainsAny(data, "\n\r") {
+			return // one frame per line by construction
+		}
+		line := append(append([]byte(nil), data...), '\n')
+		m, err := ReadMessageFrom(bufio.NewReader(bytes.NewReader(line)))
+		if err != nil {
+			return // rejected input
+		}
+		if len(m.Proto)|len(m.Type)|len(m.Name)|len(m.Addr)|len(m.Err) > 1<<16 {
+			return // bound string sizes: explore the schema, not the allocator
+		}
+		if _, known := msgCodes[m.Type]; !known || hasNaN(m) {
+			// The lenient JSON reader accepts any nonempty type string;
+			// binary only carries the fifteen protocol types (negotiation
+			// happens between same-version peers, which never emit
+			// others). NaN floats round-trip but defeat DeepEqual.
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMessageBinary(&buf, m); err != nil {
+			t.Fatalf("JSON-accepted message failed binary encode: %v\n%+v", err, m)
+		}
+		back, err := ReadMessageFrom(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("binary decode failed: %v\n%+v", err, m)
+		}
+		// Normalize the intentional differences: the writer stamps the
+		// current version regardless of the input's claim, and binary
+		// has no nil-vs-empty distinction for absent lists.
+		m.V = ProtoVersion
+		if len(m.Kernels) == 0 {
+			m.Kernels = nil
+		}
+		if len(m.Addrs) == 0 {
+			m.Addrs = nil
+		}
+		if m.Spec != nil && len(m.Spec.Graphs) == 0 {
+			m.Spec.Graphs = nil
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("codecs disagree:\n json   %+v\n binary %+v", m, back)
+		}
+	})
+}
+
+// hasNaN reports whether any float field of the message is NaN — such
+// messages round-trip bit-exactly but cannot be compared with
+// reflect.DeepEqual.
+func hasNaN(m Message) bool {
+	for _, k := range m.Kernels {
+		if math.IsNaN(k.Imbalance) {
+			return true
+		}
+	}
+	if m.Spec != nil {
+		for _, g := range m.Spec.Graphs {
+			if math.IsNaN(g.Fraction) || math.IsNaN(g.Imbalance) {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -1,11 +1,13 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -115,6 +117,42 @@ func TestGoldenMessages(t *testing.T) {
 		}
 	}
 	if _, err := ReadMessage(dec); err == nil {
+		t.Error("golden stream has extra messages")
+	}
+}
+
+// TestGoldenMessagesBinary pins the binary framing byte for byte: the
+// encoder's output for every message type matches the checked-in
+// stream, and the checked-in stream decodes back to the same messages.
+// Unlike JSON, the binary format has no lenient decode — any layout
+// change is a protocol change and must bump ProtoVersion, so this test
+// failing without a version bump is the bug, not the golden file.
+func TestGoldenMessagesBinary(t *testing.T) {
+	msgs := binaryTestMessages()
+	var out bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessageBinary(&out, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareGolden(t, "messages.bin", out.Bytes())
+
+	golden, err := os.ReadFile(filepath.Join("testdata", "messages.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(bytes.NewReader(golden))
+	for k, want := range msgs {
+		got, err := ReadMessageFrom(br)
+		if err != nil {
+			t.Fatalf("message %d: %v", k, err)
+		}
+		want.V = ProtoVersion
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("message %d:\n want %+v\n got  %+v", k, want, got)
+		}
+	}
+	if _, err := ReadMessageFrom(br); err == nil {
 		t.Error("golden stream has extra messages")
 	}
 }

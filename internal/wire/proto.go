@@ -21,7 +21,12 @@ import (
 //	2  rejected/cancel messages; results matched on (job, attempt) —
 //	   a v1 worker would never echo Attempt, silently stalling every
 //	   retried run, so the bump makes the mismatch loud.
-const ProtoVersion = 2
+//	3  binary framing (binary.go) negotiated via the Proto field at
+//	   register/welcome (worker) and submit/first-reply (client) time.
+//	   JSON remains the opening and fallback format: a v2 peer ignores
+//	   the unknown proto field, never echoes it, and the conversation
+//	   simply stays JSON.
+const ProtoVersion = 3
 
 // Message types of the cluster control protocol. One flat Message
 // envelope carries every type; unused fields stay at their zero value
@@ -116,6 +121,15 @@ func (ks KernelSpec) ToConfig() (kernels.Config, error) {
 type Message struct {
 	V    int    `json:"v"`
 	Type string `json:"type"`
+
+	// Proto negotiates the frame format of the sending direction:
+	// a register or submit carrying ProtoBinary offers "I can read
+	// binary frames; you may send them", and the welcome (or first
+	// accepted/rejected reply) echoing it accepts the offer for the
+	// opposite direction. Receivers always auto-detect per message
+	// (ReadMessageFrom), so negotiation never has a window where a
+	// frame is unreadable.
+	Proto string `json:"proto,omitempty"`
 
 	// Name identifies a worker at registration.
 	Name string `json:"name,omitempty"`

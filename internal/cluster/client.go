@@ -24,11 +24,13 @@ type Client struct {
 	// order submits hit the wire; the read loop never takes it.
 	subMu sync.Mutex
 
-	mu      sync.Mutex
-	err     error               // sticky protocol failure
-	fifo    []*Pending          // submitted, awaiting accepted/rejected (reply order = submit order)
-	byID    map[uint64]*Pending // accepted, awaiting done (matched by job id)
-	started bool
+	mu       sync.Mutex
+	err      error               // sticky protocol failure
+	fifo     []*Pending          // submitted, awaiting accepted/rejected (reply order = submit order)
+	byID     map[uint64]*Pending // accepted, awaiting done (matched by job id)
+	queries  map[uint64]chan statsOutcome
+	nextStat uint64 // correlation ids for stats queries
+	started  bool
 
 	// statsApp caches the app rebuilt for client-side statistics: an
 	// METG sweep submits the same shape per point, and the cached
@@ -70,6 +72,11 @@ type pendingOutcome struct {
 	err error
 }
 
+type statsOutcome struct {
+	info wire.StatsInfo
+	err  error
+}
+
 // Wait blocks until the job completes, is rejected, or the connection
 // fails. The error return covers protocol failures (lost coordinator);
 // job-level failures come back in JobResult.Err so callers can
@@ -97,7 +104,7 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
-	return &Client{mc: newMsgConn(conn), byID: map[uint64]*Pending{}}, nil
+	return &Client{mc: newMsgConn(conn), byID: map[uint64]*Pending{}, queries: map[uint64]chan statsOutcome{}}, nil
 }
 
 // Close releases the control connection. In-flight submissions fail
@@ -143,6 +150,41 @@ func (c *Client) SubmitAsync(spec wire.AppSpec) (*Pending, error) {
 	return p, nil
 }
 
+// Stats fetches the coordinator's gauge/counter snapshot over the
+// control connection — queue depth, jobs in flight and running,
+// admission and retry counters, and the scheduler dimensions — so a
+// monitoring client (the load generator's utilization feed) never
+// scrapes coordinator process internals. Safe for concurrent use and
+// freely interleaved with in-flight submissions: requests are matched
+// to replies by a correlation id, not by order.
+func (c *Client) Stats() (wire.StatsInfo, error) {
+	ch := make(chan statsOutcome, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return wire.StatsInfo{}, err
+	}
+	if !c.started {
+		c.started = true
+		go c.readLoop()
+	}
+	c.nextStat++
+	id := c.nextStat
+	c.queries[id] = ch
+	c.mu.Unlock()
+	// Like every submit, a stats request advertises the binary frame
+	// format; a stats-first connection negotiates through its reply.
+	if err := c.mc.write(wire.Message{Type: wire.MsgStats, Job: id, Proto: wire.ProtoBinary}); err != nil {
+		c.mu.Lock()
+		delete(c.queries, id)
+		c.mu.Unlock()
+		return wire.StatsInfo{}, fmt.Errorf("cluster: stats: %w", err)
+	}
+	out := <-ch
+	return out.info, out.err
+}
+
 // Submit queues one job and blocks until it completes or is rejected.
 func (c *Client) Submit(spec wire.AppSpec) (JobResult, error) {
 	p, err := c.SubmitAsync(spec)
@@ -162,7 +204,7 @@ func (c *Client) readLoop() {
 			c.failAll(fmt.Errorf("cluster: coordinator connection: %w", err))
 			return
 		}
-		if (m.Type == wire.MsgAccepted || m.Type == wire.MsgRejected) && m.Proto == wire.ProtoBinary {
+		if (m.Type == wire.MsgAccepted || m.Type == wire.MsgRejected || m.Type == wire.MsgStatsRply) && m.Proto == wire.ProtoBinary {
 			c.mc.binary.Store(true)
 		}
 		switch m.Type {
@@ -203,6 +245,20 @@ func (c *Client) readLoop() {
 				res.Err = errors.New(m.Err)
 			}
 			p.ch <- pendingOutcome{res: res}
+		case wire.MsgStatsRply:
+			c.mu.Lock()
+			ch := c.queries[m.Job]
+			delete(c.queries, m.Job)
+			c.mu.Unlock()
+			if ch == nil {
+				c.failAll(fmt.Errorf("cluster: statsreply for unknown query %d", m.Job))
+				return
+			}
+			var info wire.StatsInfo
+			if m.Stats != nil {
+				info = *m.Stats
+			}
+			ch <- statsOutcome{info: info}
 		default:
 			c.failAll(fmt.Errorf("cluster: unexpected %q from coordinator", m.Type))
 			return
@@ -233,9 +289,17 @@ func (c *Client) failAll(err error) {
 	}
 	c.fifo = nil
 	c.byID = map[uint64]*Pending{}
+	queries := make([]chan statsOutcome, 0, len(c.queries))
+	for _, ch := range c.queries {
+		queries = append(queries, ch)
+	}
+	c.queries = map[uint64]chan statsOutcome{}
 	c.mu.Unlock()
 	for _, p := range pending {
 		p.ch <- pendingOutcome{err: err}
+	}
+	for _, ch := range queries {
+		ch <- statsOutcome{err: err}
 	}
 }
 

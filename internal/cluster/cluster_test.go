@@ -666,3 +666,92 @@ func TestWaitWorkersDeadline(t *testing.T) {
 		t.Errorf("waiter woke after %v, want promptly after registration", waited)
 	}
 }
+
+// TestClientStats is the remote-observability contract: a client reads
+// the coordinator's gauges and counters over its control connection —
+// including on a stats-first connection that has never submitted — and
+// the snapshot tracks the work the fleet actually did.
+func TestClientStats(t *testing.T) {
+	coord, _ := testFleetOpts(t, 2, func(o *Options) {
+		o.QueueDepth = 16
+		o.Concurrency = 3
+		o.MaxAttempts = 2
+	})
+
+	// A stats-first connection: no submit has opened this conversation.
+	mon, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	info, err := mon.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Workers != 2 || info.QueueCap != 16 || info.Concurrency != 3 || info.MaxAttempts != 2 {
+		t.Errorf("initial snapshot wrong: %+v", info)
+	}
+	if info.JobsRun != 0 || info.JobsRejected != 0 {
+		t.Errorf("fresh coordinator has history: %+v", info)
+	}
+
+	// Work happens; the counters follow, visible from a second client.
+	cli, err := Dial(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Run(stencilSpec(2, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err = mon.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.JobsRun != 3 || info.ConfigsBuilt != 1 || info.ConfigsReused != 2 {
+		t.Errorf("post-run snapshot wrong: %+v", info)
+	}
+	if info.JobsFailed != 0 || info.JobsInFlight != 0 || info.JobsRunning != 0 || info.QueueLen != 0 {
+		t.Errorf("idle fleet shows live work: %+v", info)
+	}
+
+	// Stats interleave with in-flight jobs on the SAME connection, and
+	// observe them running.
+	p, err := cli.SubmitAsync(busySpec(2, 4, 400, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		info, err = cli.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.JobsRunning >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never observed the running job: %+v", info)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Cancel()
+	if res, err := p.Wait(); err != nil {
+		t.Fatalf("wait after cancel: %v (res %+v)", err, res)
+	}
+
+	// Concurrent stats queries race safely (matched by id, not order).
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := mon.Stats(); err != nil {
+				t.Errorf("concurrent stats: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -281,6 +281,30 @@ func (c *Coordinator) Stats() Stats {
 	return s
 }
 
+// statsInfo snapshots the coordinator for a statsreply: the Stats
+// counters plus the queue and scheduler dimensions a remote client
+// needs to turn JobsRunning into a utilization fraction.
+func (c *Coordinator) statsInfo() *wire.StatsInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &wire.StatsInfo{
+		Workers:       len(c.workers),
+		ConfigsBuilt:  c.stats.ConfigsBuilt,
+		ConfigsReused: c.stats.ConfigsReused,
+		JobsRun:       c.stats.JobsRun,
+		JobsFailed:    c.stats.JobsFailed,
+		JobsInFlight:  c.inFlight,
+		JobsRunning:   c.running,
+		JobsRetried:   c.stats.JobsRetried,
+		JobsRejected:  c.stats.JobsRejected,
+		JobsCancelled: c.stats.JobsCancelled,
+		QueueLen:      len(c.queue),
+		QueueCap:      c.opts.QueueDepth,
+		Concurrency:   c.opts.Concurrency,
+		MaxAttempts:   c.opts.MaxAttempts,
+	}
+}
+
 // WorkerCount returns the current live fleet size.
 func (c *Coordinator) WorkerCount() int {
 	c.mu.Lock()
@@ -396,7 +420,9 @@ func (c *Coordinator) handleConn(mc *msgConn) {
 	switch m.Type {
 	case wire.MsgRegister:
 		c.serveWorker(mc, m)
-	case wire.MsgSubmit:
+	case wire.MsgSubmit, wire.MsgStats:
+		// A stats-first connection is a client too: the load generator
+		// polls utilization before (and while) it submits.
 		c.serveClient(mc, m)
 	default:
 		c.opts.Logf("cluster: %s opened with unexpected %q", mc.remoteAddr(), m.Type)
@@ -634,6 +660,14 @@ loop:
 			cl.mu.Unlock()
 			if j != nil {
 				j.cancelNow("cancelled by client")
+			}
+		case wire.MsgStats:
+			// Job is a client-chosen correlation id echoed verbatim, so
+			// snapshots interleave freely with in-flight submissions. A
+			// failed reply write means the client is gone — same
+			// teardown rule as a failed admission reply.
+			if cl.mc.write(wire.Message{Type: wire.MsgStatsRply, Job: m.Job, Stats: c.statsInfo(), Proto: cl.proto}) != nil {
+				break loop
 			}
 		default:
 			c.opts.Logf("cluster: client %s sent unexpected %q", mc.remoteAddr(), m.Type)

@@ -1,0 +1,348 @@
+// Package pattern models time-varying submission load for the cluster
+// load generator: piecewise-linear curves of instantaneous job rate
+// over *simulated* time, a compressed clock that maps simulated time
+// onto real wall time under a -time-scale factor, and an arrival
+// generator that turns a curve into concrete submission instants.
+//
+// The split matters: patterns are written in simulated time (a diurnal
+// curve is 24 simulated hours regardless of how fast it replays), and
+// compression lives entirely in the Clock. Because arrivals are drawn
+// in simulated time and only mapped to wall time at scheduling, the
+// total number of jobs a pattern produces is independent of the
+// compression factor — a property the tests pin.
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one knot of a load curve: at simulated offset At, the
+// instantaneous submission rate is Rate jobs per simulated second.
+// Between knots the rate is linearly interpolated; before the first
+// and after the last knot it is held constant at that knot's rate.
+type Point struct {
+	At   time.Duration
+	Rate float64
+}
+
+// Pattern is a piecewise-linear load curve over one simulated run.
+type Pattern struct {
+	// Name labels the pattern in timelines and logs.
+	Name string
+	// Duration is the simulated length of the run. Arrivals stop here.
+	Duration time.Duration
+	// Points are the curve's knots, sorted by At within [0, Duration].
+	Points []Point
+}
+
+// Validate checks the curve is well formed: a positive duration, at
+// least one knot, knots sorted and in range, rates finite and
+// non-negative.
+func (p Pattern) Validate() error {
+	if p.Duration <= 0 {
+		return fmt.Errorf("pattern %q: duration %v not positive", p.Name, p.Duration)
+	}
+	if len(p.Points) == 0 {
+		return fmt.Errorf("pattern %q: no points", p.Name)
+	}
+	for i, pt := range p.Points {
+		if pt.At < 0 || pt.At > p.Duration {
+			return fmt.Errorf("pattern %q: point %d at %v outside [0, %v]", p.Name, i, pt.At, p.Duration)
+		}
+		if i > 0 && pt.At < p.Points[i-1].At {
+			return fmt.Errorf("pattern %q: point %d at %v before point %d at %v", p.Name, i, pt.At, i-1, p.Points[i-1].At)
+		}
+		if math.IsNaN(pt.Rate) || math.IsInf(pt.Rate, 0) || pt.Rate < 0 {
+			return fmt.Errorf("pattern %q: point %d rate %v invalid", p.Name, i, pt.Rate)
+		}
+	}
+	return nil
+}
+
+// RateAt returns the instantaneous rate (jobs per simulated second) at
+// simulated offset at: linear interpolation between the bracketing
+// knots, clamped to the first and last knot's rates outside them.
+func (p Pattern) RateAt(at time.Duration) float64 {
+	pts := p.Points
+	if len(pts) == 0 {
+		return 0
+	}
+	if at <= pts[0].At {
+		return pts[0].Rate
+	}
+	if at >= pts[len(pts)-1].At {
+		return pts[len(pts)-1].Rate
+	}
+	// First knot strictly after at; its predecessor opens the segment.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].At > at })
+	a, b := pts[i-1], pts[i]
+	if b.At == a.At {
+		return b.Rate
+	}
+	frac := float64(at-a.At) / float64(b.At-a.At)
+	return a.Rate + (b.Rate-a.Rate)*frac
+}
+
+// Integral returns the exact number of jobs the curve produces over
+// the simulated interval [from, to] — the trapezoid sum of the
+// piecewise-linear rate, with the interval clamped to [0, Duration].
+func (p Pattern) Integral(from, to time.Duration) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > p.Duration {
+		to = p.Duration
+	}
+	if to <= from || len(p.Points) == 0 {
+		return 0
+	}
+	// Integrate segment by segment between every pair of adjacent
+	// breakpoints of the clamped interval; RateAt is linear inside each.
+	cuts := make([]time.Duration, 0, len(p.Points)+2)
+	cuts = append(cuts, from)
+	for _, pt := range p.Points {
+		if pt.At > from && pt.At < to {
+			cuts = append(cuts, pt.At)
+		}
+	}
+	cuts = append(cuts, to)
+	var total float64
+	for i := 1; i < len(cuts); i++ {
+		lo, hi := cuts[i-1], cuts[i]
+		total += (p.RateAt(lo) + p.RateAt(hi)) / 2 * (hi - lo).Seconds()
+	}
+	return total
+}
+
+// PeakRate returns the curve's maximum instantaneous rate (at a knot:
+// linear segments attain their extrema at the endpoints).
+func (p Pattern) PeakRate() float64 {
+	var peak float64
+	for _, pt := range p.Points {
+		if pt.Rate > peak {
+			peak = pt.Rate
+		}
+	}
+	return peak
+}
+
+// WithTotal scales every rate so the whole curve integrates to exactly
+// total jobs, preserving its shape. A zero-integral curve is returned
+// unchanged.
+func (p Pattern) WithTotal(total float64) Pattern {
+	cur := p.Integral(0, p.Duration)
+	if cur <= 0 || total < 0 {
+		return p
+	}
+	factor := total / cur
+	scaled := p
+	scaled.Points = make([]Point, len(p.Points))
+	for i, pt := range p.Points {
+		scaled.Points[i] = Point{At: pt.At, Rate: pt.Rate * factor}
+	}
+	return scaled
+}
+
+// PresetNames lists the built-in load shapes in CLI order.
+func PresetNames() []string {
+	return []string{"constant", "ramp", "burst", "diurnal", "batch"}
+}
+
+// Preset builds a named load shape over the simulated duration, scaled
+// so it integrates to totalJobs submissions:
+//
+//	constant  flat rate for the whole run
+//	ramp      linear growth from zero to peak — capacity discovery
+//	burst     a low baseline with a 5-minute-scale plateau at 16× the
+//	          baseline in the middle fifth — the overload window that
+//	          exercises admission control and client back-off
+//	diurnal   a raised-cosine day: trough at both ends, peak mid-run
+//	batch     interactive baseline plus a heavy square batch window in
+//	          the last quarter — the scheduled nightly-load shape
+func Preset(name string, duration time.Duration, totalJobs float64) (Pattern, error) {
+	if duration <= 0 {
+		return Pattern{}, fmt.Errorf("pattern: preset duration %v not positive", duration)
+	}
+	if totalJobs <= 0 {
+		return Pattern{}, fmt.Errorf("pattern: preset total %v not positive", totalJobs)
+	}
+	at := func(frac float64) time.Duration { return time.Duration(frac * float64(duration)) }
+	var p Pattern
+	switch strings.ToLower(name) {
+	case "constant":
+		p = Pattern{Points: []Point{{0, 1}, {duration, 1}}}
+	case "ramp":
+		p = Pattern{Points: []Point{{0, 0}, {duration, 1}}}
+	case "burst":
+		p = Pattern{Points: []Point{
+			{0, 1}, {at(0.40), 1},
+			{at(0.42), 16}, {at(0.58), 16},
+			{at(0.60), 1}, {duration, 1},
+		}}
+	case "diurnal":
+		// Sampled raised cosine (1-cos(2πt/d))/2: piecewise-linear is
+		// the contract, so the smooth day is approximated by 24 knots.
+		const knots = 24
+		pts := make([]Point, 0, knots+1)
+		for i := 0; i <= knots; i++ {
+			frac := float64(i) / knots
+			rate := (1 - math.Cos(2*math.Pi*frac)) / 2
+			pts = append(pts, Point{At: at(frac), Rate: 0.05 + rate})
+		}
+		p = Pattern{Points: pts}
+	case "batch":
+		p = Pattern{Points: []Point{
+			{0, 1}, {at(0.74), 1},
+			{at(0.75), 8}, {at(0.95), 8},
+			{at(0.96), 1}, {duration, 1},
+		}}
+	default:
+		return Pattern{}, fmt.Errorf("pattern: unknown preset %q (have %s)", name, strings.Join(PresetNames(), ", "))
+	}
+	p.Name = strings.ToLower(name)
+	p.Duration = duration
+	p = p.WithTotal(totalJobs)
+	if err := p.Validate(); err != nil {
+		return Pattern{}, err
+	}
+	return p, nil
+}
+
+// Clock maps between real wall time and simulated time under a
+// compression factor: one real second advances Scale simulated
+// seconds, so a 24-hour diurnal pattern replays in 24 real minutes at
+// Scale 60.
+type Clock struct {
+	start time.Time
+	scale float64
+}
+
+// NewClock starts a compressed clock at the given wall instant. Scale
+// values at or below zero mean real time (scale 1).
+func NewClock(start time.Time, scale float64) Clock {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Clock{start: start, scale: scale}
+}
+
+// Scale returns the compression factor.
+func (c Clock) Scale() float64 { return c.scale }
+
+// Sim returns the simulated offset corresponding to the wall instant
+// now (negative before the clock's start).
+func (c Clock) Sim(now time.Time) time.Duration {
+	return time.Duration(float64(now.Sub(c.start)) * c.scale)
+}
+
+// Real returns the wall instant at which the simulated offset sim is
+// reached.
+func (c Clock) Real(sim time.Duration) time.Time {
+	return c.start.Add(time.Duration(float64(sim) / c.scale))
+}
+
+// Arrivals draws the submission instants of one run from a pattern, in
+// simulated time, by inverting the curve's cumulative integral: the
+// n-th arrival lands where the area under the rate curve reaches the
+// n-th target. With a seed the targets are unit-mean exponential
+// increments (a non-homogeneous Poisson process — realistic jitter);
+// deterministic mode spaces targets exactly one job apart, so a run
+// produces ⌊total⌋ arrivals reproducibly, which is what the CI smoke
+// asserts against.
+type Arrivals struct {
+	p   Pattern
+	rng *rand.Rand // nil in deterministic mode
+
+	seg    int           // current segment index (p.Points[seg] opens it)
+	at     time.Duration // simulated position of the cursor
+	area   float64       // cumulative integral at the cursor
+	target float64       // cumulative target of the next arrival
+}
+
+// NewArrivals creates the arrival stream for p. A nil rng selects
+// deterministic unit spacing.
+func NewArrivals(p Pattern, rng *rand.Rand) *Arrivals {
+	a := &Arrivals{p: p, rng: rng}
+	a.target = a.step()
+	return a
+}
+
+// step returns the cumulative-area gap to the next arrival.
+func (a *Arrivals) step() float64 {
+	if a.rng == nil {
+		return 1
+	}
+	return a.rng.ExpFloat64()
+}
+
+// Next returns the simulated offset of the next submission, or false
+// once the pattern's duration is exhausted. Offsets are non-decreasing.
+func (a *Arrivals) Next() (time.Duration, bool) {
+	pts := a.p.Points
+	for {
+		// End of the curve: arrivals past the last knot happen at the
+		// final rate, held constant until Duration.
+		var segEnd time.Duration
+		var r0, r1 float64
+		if a.seg >= len(pts)-1 {
+			segEnd = a.p.Duration
+			last := pts[len(pts)-1]
+			r0, r1 = last.Rate, last.Rate
+			if a.at >= segEnd {
+				return 0, false
+			}
+		} else {
+			segEnd = pts[a.seg+1].At
+			r0 = a.p.RateAt(a.at)
+			r1 = pts[a.seg+1].Rate
+		}
+		h := (segEnd - a.at).Seconds()
+		segArea := (r0 + r1) / 2 * h
+		need := a.target - a.area
+		if segArea < need || h <= 0 {
+			// The target lies beyond this segment: consume it whole.
+			a.area += segArea
+			a.at = segEnd
+			if a.seg < len(pts)-1 {
+				a.seg++
+				continue
+			}
+			return 0, false
+		}
+		// Solve r0·dt + (r1-r0)/(2h)·dt² = need for dt within [0, h].
+		var dt float64
+		if r1 == r0 {
+			if r0 <= 0 {
+				// Zero-rate segment with zero need: land at its end.
+				dt = h
+			} else {
+				dt = need / r0
+			}
+		} else {
+			k := (r1 - r0) / (2 * h)
+			disc := r0*r0 + 4*k*need
+			if disc < 0 {
+				disc = 0 // numeric guard; need ≤ segArea bounds the root
+			}
+			dt = (math.Sqrt(disc) - r0) / (2 * k)
+			if dt < 0 {
+				dt = 0
+			}
+			if dt > h {
+				dt = h
+			}
+		}
+		a.area = a.target
+		a.at += time.Duration(dt * float64(time.Second))
+		if a.at > a.p.Duration {
+			return 0, false
+		}
+		a.target += a.step()
+		return a.at, true
+	}
+}

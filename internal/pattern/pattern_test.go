@@ -1,0 +1,222 @@
+package pattern
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomPattern builds a valid random curve for property tests.
+func randomPattern(rng *rand.Rand) Pattern {
+	d := time.Duration(1+rng.Intn(3600)) * time.Second
+	n := 1 + rng.Intn(12)
+	pts := make([]Point, n)
+	var at time.Duration
+	for i := range pts {
+		at += time.Duration(rng.Int63n(int64(d)/int64(n) + 1))
+		if at > d {
+			at = d
+		}
+		pts[i] = Point{At: at, Rate: rng.Float64() * 100}
+	}
+	return Pattern{Name: "random", Duration: d, Points: pts}
+}
+
+// TestRateWithinSegmentBounds is the interpolation property: at any
+// instant, the rate lies within the bounds of its bracketing segment
+// (and the curve is clamped to the end knots outside them).
+func TestRateWithinSegmentBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		p := randomPattern(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid random pattern: %v", trial, err)
+		}
+		for probe := 0; probe < 100; probe++ {
+			at := time.Duration(rng.Int63n(int64(p.Duration) + 1))
+			got := p.RateAt(at)
+			lo, hi := math.Inf(1), math.Inf(-1)
+			switch {
+			case at <= p.Points[0].At:
+				lo, hi = p.Points[0].Rate, p.Points[0].Rate
+			case at >= p.Points[len(p.Points)-1].At:
+				last := p.Points[len(p.Points)-1].Rate
+				lo, hi = last, last
+			default:
+				for i := 1; i < len(p.Points); i++ {
+					if p.Points[i-1].At <= at && at <= p.Points[i].At {
+						lo = math.Min(p.Points[i-1].Rate, p.Points[i].Rate)
+						hi = math.Max(p.Points[i-1].Rate, p.Points[i].Rate)
+						break
+					}
+				}
+			}
+			const eps = 1e-9
+			if got < lo-eps || got > hi+eps {
+				t.Fatalf("trial %d: rate %v at %v outside segment bounds [%v, %v]\npattern: %+v",
+					trial, got, at, lo, hi, p)
+			}
+		}
+	}
+}
+
+// TestPresetsIntegrateToTotalUnderCompression is the conservation
+// property the loadgen design rests on: every preset integrates to its
+// nominal total job count, and because compression lives in the Clock
+// (arrivals are drawn in simulated time), the total is independent of
+// the time-scale factor — checked by numerically integrating the
+// real-time rate scale·r(scale·t) over the compressed run.
+func TestPresetsIntegrateToTotalUnderCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, name := range PresetNames() {
+		for trial := 0; trial < 20; trial++ {
+			d := time.Duration(10+rng.Intn(86400)) * time.Second
+			total := float64(1 + rng.Intn(100000))
+			scale := []float64{1, 12, 60, 3600}[rng.Intn(4)]
+			p, err := Preset(name, d, total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := p.Integral(0, p.Duration); math.Abs(got-total) > 1e-6*total {
+				t.Fatalf("%s: integral %v, want nominal total %v", name, got, total)
+			}
+			// Riemann sum of the compressed real-time rate.
+			realDur := float64(d) / scale / float64(time.Second)
+			const steps = 20000
+			dt := realDur / steps
+			var sum float64
+			for i := 0; i < steps; i++ {
+				tReal := (float64(i) + 0.5) * dt
+				sim := time.Duration(tReal * scale * float64(time.Second))
+				sum += p.RateAt(sim) * scale * dt
+			}
+			if math.Abs(sum-total) > 0.01*total {
+				t.Fatalf("%s at scale %v: compressed integral %v, want %v", name, scale, sum, total)
+			}
+		}
+	}
+}
+
+// TestIntegralMatchesRiemann cross-checks the exact trapezoid integral
+// against a numeric sum on random curves and random subintervals.
+func TestIntegralMatchesRiemann(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		p := randomPattern(rng)
+		from := time.Duration(rng.Int63n(int64(p.Duration)))
+		to := from + time.Duration(rng.Int63n(int64(p.Duration-from)+1))
+		got := p.Integral(from, to)
+		const steps = 5000
+		dt := float64(to-from) / steps
+		var sum float64
+		for i := 0; i < steps; i++ {
+			at := from + time.Duration((float64(i)+0.5)*dt)
+			sum += p.RateAt(at) * dt / float64(time.Second)
+		}
+		tol := 1e-3*sum + 1e-6
+		if math.Abs(got-sum) > tol {
+			t.Fatalf("trial %d: integral(%v,%v) = %v, riemann %v\npattern %+v", trial, from, to, got, sum, p)
+		}
+	}
+}
+
+// TestDeterministicArrivalCount pins the deterministic stream: a
+// preset scaled to N jobs yields N arrivals (±1 for the boundary
+// landing on the final instant), non-decreasing, within the duration.
+func TestDeterministicArrivalCount(t *testing.T) {
+	for _, name := range PresetNames() {
+		for _, total := range []float64{1, 17, 400} {
+			p, err := Preset(name, 10*time.Minute, total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arr := NewArrivals(p, nil)
+			var count int
+			var last time.Duration
+			for {
+				at, ok := arr.Next()
+				if !ok {
+					break
+				}
+				if at < last || at > p.Duration {
+					t.Fatalf("%s: arrival %v out of order or range (prev %v)", name, at, last)
+				}
+				last = at
+				count++
+				if count > int(total)+1 {
+					t.Fatalf("%s: runaway arrival stream (> %v)", name, total)
+				}
+			}
+			if count < int(total)-1 {
+				t.Errorf("%s total %v: only %d arrivals", name, total, count)
+			}
+		}
+	}
+}
+
+// TestPoissonArrivalCount bounds the seeded stochastic stream: the
+// arrival count concentrates around the nominal total.
+func TestPoissonArrivalCount(t *testing.T) {
+	p, err := Preset("burst", time.Hour, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := NewArrivals(p, rand.New(rand.NewSource(42)))
+	var count int
+	var last time.Duration
+	for {
+		at, ok := arr.Next()
+		if !ok {
+			break
+		}
+		if at < last {
+			t.Fatalf("arrival %v before %v", at, last)
+		}
+		last = at
+		count++
+	}
+	// A Poisson(10000) draw is within ±5σ = ±500 essentially always.
+	if count < 9500 || count > 10500 {
+		t.Errorf("poisson arrivals = %d, want ≈10000", count)
+	}
+}
+
+// TestClockRoundTrip pins the compressed clock's two directions
+// against each other and its rate contract.
+func TestClockRoundTrip(t *testing.T) {
+	start := time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)
+	for _, scale := range []float64{1, 12, 60, 3600} {
+		c := NewClock(start, scale)
+		for _, sim := range []time.Duration{0, time.Second, time.Hour, 24 * time.Hour} {
+			back := c.Sim(c.Real(sim))
+			if diff := (back - sim).Abs(); diff > time.Duration(scale)*time.Microsecond {
+				t.Errorf("scale %v: sim %v round-tripped to %v", scale, sim, back)
+			}
+		}
+		// One real second is scale simulated seconds.
+		got := c.Sim(start.Add(time.Second))
+		want := time.Duration(scale * float64(time.Second))
+		if (got - want).Abs() > time.Millisecond {
+			t.Errorf("scale %v: 1 real second = %v simulated, want %v", scale, got, want)
+		}
+	}
+}
+
+// TestPresetRejectsUnknown pins the error path and the name list.
+func TestPresetRejectsUnknown(t *testing.T) {
+	if _, err := Preset("sawtooth", time.Minute, 10); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := Preset("burst", 0, 10); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Preset("burst", time.Minute, 0); err == nil {
+		t.Error("zero total accepted")
+	}
+	for _, name := range PresetNames() {
+		if _, err := Preset(name, time.Minute, 10); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+	}
+}

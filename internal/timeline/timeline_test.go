@@ -1,0 +1,191 @@
+package timeline
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// record replays a fixed little run into a collector: a ramp of
+// submissions, an overload window with rejections and resubmissions,
+// completions with spread-out latencies, one failure, one
+// cancellation, and periodic fleet samples.
+func record(c *Collector) {
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	for i := 0; i < 8; i++ {
+		at := sec(0.25 + float64(i)*0.5)
+		c.Submitted(at)
+		if i%4 == 3 {
+			c.Rejected(at)
+			c.Retried(at + sec(0.1))
+			c.Submitted(at + sec(0.1))
+			c.Accepted(at + sec(0.1))
+		} else {
+			c.Accepted(at)
+		}
+	}
+	c.Completed(sec(1.2), sec(0.95))
+	c.Completed(sec(1.7), sec(1.2))
+	c.Completed(sec(2.3), sec(0.8))
+	c.Completed(sec(3.4), sec(1.9))
+	c.Completed(sec(4.6), sec(2.1))
+	c.Failed(sec(4.8), sec(0.5))
+	c.Cancelled(sec(5.1))
+	for i := 0; i < 10; i++ {
+		c.Sample(sec(float64(i)*0.55), i%3, 1+i%4, 2, 4)
+	}
+}
+
+// TestGoldenTimeline pins the emitted CSV and JSON forms byte for
+// byte: the timeline is the machine-readable contract downstream
+// tooling (the CI smoke's jq assertions included) parses, so format
+// drift must fail a test, not a pipeline. Regenerate with -update.
+func TestGoldenTimeline(t *testing.T) {
+	c := New(time.Second, nil)
+	record(c)
+	tl := c.Finish()
+	tl.Pattern = "golden"
+	tl.TimeScale = 60
+
+	var csv, js bytes.Buffer
+	if err := WriteCSV(&csv, tl); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&js, tl); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "timeline.csv", csv.Bytes())
+	compareGolden(t, "timeline.json", js.Bytes())
+}
+
+// TestStreamingMatchesBatch pins the streaming path against the batch
+// path: interleaving Advance calls (sealing rows early, through the
+// sink) must yield exactly the same rows and totals as sealing
+// everything at Finish.
+func TestStreamingMatchesBatch(t *testing.T) {
+	batch := New(time.Second, nil)
+	record(batch)
+	want := batch.Finish()
+
+	var streamed []Row
+	c := New(time.Second, func(r Row) { streamed = append(streamed, r) })
+	record(c)
+	c.Advance(2500 * time.Millisecond) // seals intervals 0 and 1 mid-run
+	if len(streamed) != 2 {
+		t.Fatalf("advance streamed %d rows, want 2", len(streamed))
+	}
+	got := c.Finish()
+	if !reflect.DeepEqual(want.Rows, got.Rows) {
+		t.Errorf("streamed rows diverge from batch rows:\n want %+v\n got  %+v", want.Rows, got.Rows)
+	}
+	if want.Totals != got.Totals {
+		t.Errorf("streamed totals diverge: want %+v, got %+v", want.Totals, got.Totals)
+	}
+	if !reflect.DeepEqual(streamed, got.Rows) {
+		t.Errorf("sink rows diverge from Finish rows:\n sink %+v\n rows %+v", streamed, got.Rows)
+	}
+}
+
+// TestStragglerFoldsForward pins the late-event rule: an event for an
+// already-sealed interval lands in the oldest open bucket instead of
+// vanishing.
+func TestStragglerFoldsForward(t *testing.T) {
+	c := New(time.Second, func(Row) {})
+	c.Submitted(500 * time.Millisecond)
+	c.Advance(3 * time.Second) // seals 0,1,2
+	c.Completed(700*time.Millisecond, time.Second)
+	tl := c.Finish()
+	if tl.Totals.Completed != 1 {
+		t.Fatalf("straggler lost: totals %+v", tl.Totals)
+	}
+	lastRow := tl.Rows[len(tl.Rows)-1]
+	if lastRow.Completed != 1 || lastRow.Start != 3*time.Second {
+		t.Errorf("straggler in wrong bucket: %+v", lastRow)
+	}
+}
+
+// TestGapsAreZeroRows pins timeline continuity: intervals with no
+// events still emit rows, so plots and diffs see an unbroken series.
+func TestGapsAreZeroRows(t *testing.T) {
+	c := New(time.Second, nil)
+	c.Submitted(100 * time.Millisecond)
+	c.Completed(4500*time.Millisecond, time.Second)
+	tl := c.Finish()
+	if len(tl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (gaps filled)", len(tl.Rows))
+	}
+	for i, r := range tl.Rows {
+		if r.Start != time.Duration(i)*time.Second {
+			t.Errorf("row %d starts at %v", i, r.Start)
+		}
+	}
+	for _, i := range []int{1, 2, 3} {
+		if tl.Rows[i] != (Row{Start: time.Duration(i) * time.Second}) {
+			t.Errorf("gap row %d not zero: %+v", i, tl.Rows[i])
+		}
+	}
+}
+
+// TestPercentiles pins the nearest-rank definition on a known ladder.
+func TestPercentiles(t *testing.T) {
+	c := New(time.Second, nil)
+	for i := 1; i <= 100; i++ {
+		c.Completed(500*time.Millisecond, time.Duration(i)*time.Millisecond)
+	}
+	tl := c.Finish()
+	if got := tl.Totals.P50Millis; got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := tl.Totals.P95Millis; got != 95 {
+		t.Errorf("p95 = %v, want 95", got)
+	}
+	if got := tl.Totals.P99Millis; got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+// TestCSVHeaderMatchesRow pins the CSV column count against the row
+// writer, so a new column cannot silently desynchronize them.
+func TestCSVHeaderMatchesRow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSVRow(&buf, Row{}); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if gotN, wantN := len(strings.Split(line, ",")), len(strings.Split(CSVHeader, ",")); gotN != wantN {
+		t.Errorf("row has %d columns, header %d", gotN, wantN)
+	}
+}
+
+// compareGolden checks got against the named golden file, rewriting it
+// under -update.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/timeline -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n got: %s\nwant: %s", name, got, want)
+	}
+}

@@ -82,6 +82,8 @@ var msgCodes = map[string]byte{
 	MsgRejected:  13,
 	MsgCancel:    14,
 	MsgDone:      15,
+	MsgStats:     16,
+	MsgStatsRply: 17,
 }
 
 var msgNames = func() map[byte]string {
@@ -264,7 +266,31 @@ func appendMessageBody(b []byte, code byte, m Message) []byte {
 	b = binary.AppendVarint(b, m.ElapsedNanos)
 	b = binary.AppendVarint(b, int64(m.Workers))
 	b = appendString(b, m.Err)
+	if m.Stats == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = appendStats(b, *m.Stats)
+	}
 	return b
+}
+
+func appendStats(b []byte, s StatsInfo) []byte {
+	for _, v := range statsFields(&s) {
+		b = binary.AppendVarint(b, int64(*v))
+	}
+	return b
+}
+
+// statsFields is the binary field schedule of StatsInfo, shared by the
+// encoder and decoder so the two cannot drift.
+func statsFields(s *StatsInfo) []*int {
+	return []*int{
+		&s.Workers, &s.ConfigsBuilt, &s.ConfigsReused,
+		&s.JobsRun, &s.JobsFailed, &s.JobsInFlight, &s.JobsRunning,
+		&s.JobsRetried, &s.JobsRejected, &s.JobsCancelled,
+		&s.QueueLen, &s.QueueCap, &s.Concurrency, &s.MaxAttempts,
+	}
 }
 
 func appendSpec(b []byte, spec AppSpec) []byte {
@@ -470,6 +496,13 @@ func decodeMessageBody(body []byte) (Message, error) {
 	m.ElapsedNanos = r.varint()
 	m.Workers = r.int()
 	m.Err = r.string()
+	if r.byte() != 0 && r.err == nil {
+		var s StatsInfo
+		for _, v := range statsFields(&s) {
+			*v = r.int()
+		}
+		m.Stats = &s
+	}
 	if r.err != nil {
 		return Message{}, r.err
 	}

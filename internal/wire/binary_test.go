@@ -43,6 +43,13 @@ func binaryTestMessages() []Message {
 		{Type: MsgCancel, Job: 9},
 		{Type: MsgDone, Job: 9, ElapsedNanos: 1234567, Workers: 6},
 		{Type: MsgDone, Job: 10, Err: `worker "node2" died`},
+		{Type: MsgStats, Job: 21},
+		{Type: MsgStatsRply, Job: 21, Stats: &StatsInfo{
+			Workers: 3, ConfigsBuilt: 2, ConfigsReused: 40,
+			JobsRun: 42, JobsFailed: 1, JobsInFlight: 5, JobsRunning: 2,
+			JobsRetried: 1, JobsRejected: 7, JobsCancelled: 1,
+			QueueLen: 3, QueueCap: 64, Concurrency: 4, MaxAttempts: 3,
+		}},
 	}
 }
 

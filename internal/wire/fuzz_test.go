@@ -146,7 +146,7 @@ func FuzzMessageCodecEquivalence(f *testing.F) {
 		}
 		if _, known := msgCodes[m.Type]; !known || hasNaN(m) {
 			// The lenient JSON reader accepts any nonempty type string;
-			// binary only carries the fifteen protocol types (negotiation
+			// binary only carries the seventeen protocol types (negotiation
 			// happens between same-version peers, which never emit
 			// others). NaN floats round-trip but defeat DeepEqual.
 			return

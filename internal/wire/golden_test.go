@@ -84,6 +84,11 @@ func TestGoldenMessages(t *testing.T) {
 		{Type: MsgCancel, Job: 9},
 		{Type: MsgDone, Job: 9, ElapsedNanos: 1234567, Workers: 6},
 		{Type: MsgDone, Job: 10, Err: `worker "node2" died`},
+		{Type: MsgStats, Job: 21},
+		{Type: MsgStatsRply, Job: 21, Stats: &StatsInfo{
+			Workers: 3, JobsRun: 42, JobsRejected: 7,
+			QueueLen: 3, QueueCap: 64, Concurrency: 4, MaxAttempts: 3,
+		}},
 	}
 	var out bytes.Buffer
 	for _, m := range msgs {

@@ -26,7 +26,12 @@ import (
 //	   JSON remains the opening and fallback format: a v2 peer ignores
 //	   the unknown proto field, never echoes it, and the conversation
 //	   simply stays JSON.
-const ProtoVersion = 3
+//	4  stats/statsreply control messages: a client observes the
+//	   coordinator's queue depth, in-flight gauges and counters over
+//	   its existing control connection (the load generator's
+//	   utilization feed). A v3 coordinator would drop a client on the
+//	   unknown message, so the bump makes the mismatch loud.
+const ProtoVersion = 4
 
 // Message types of the cluster control protocol. One flat Message
 // envelope carries every type; unused fields stay at their zero value
@@ -50,6 +55,11 @@ const ProtoVersion = 3
 //	                                 many jobs may be in flight per
 //	                                 connection
 //	cancel →                         abandon an accepted job by id
+//	stats →, ← statsreply            coordinator gauge/counter snapshot;
+//	                                 the request's Job field is a
+//	                                 client-chosen correlation id the
+//	                                 reply echoes, so stats interleave
+//	                                 freely with in-flight jobs
 const (
 	MsgRegister  = "register"
 	MsgWelcome   = "welcome"
@@ -66,7 +76,45 @@ const (
 	MsgRejected  = "rejected"
 	MsgCancel    = "cancel"
 	MsgDone      = "done"
+	MsgStats     = "stats"
+	MsgStatsRply = "statsreply"
 )
+
+// StatsInfo is the coordinator snapshot carried by a statsreply: the
+// gauges and counters a remote client (the load generator's
+// utilization feed) needs without scraping coordinator process
+// internals. Counters are cumulative since coordinator start; gauges
+// are instantaneous.
+type StatsInfo struct {
+	// Workers is the live fleet size.
+	Workers int `json:"workers,omitempty"`
+	// ConfigsBuilt / ConfigsReused count configuration provisioning
+	// vs cross-request reuse.
+	ConfigsBuilt  int `json:"configs_built,omitempty"`
+	ConfigsReused int `json:"configs_reused,omitempty"`
+	// JobsRun counts completed jobs (success or failure); JobsFailed
+	// the failures among them.
+	JobsRun    int `json:"jobs_run,omitempty"`
+	JobsFailed int `json:"jobs_failed,omitempty"`
+	// JobsInFlight and JobsRunning are gauges: jobs claimed by
+	// scheduler slots, and jobs actually executing on the fleet.
+	JobsInFlight int `json:"jobs_in_flight,omitempty"`
+	JobsRunning  int `json:"jobs_running,omitempty"`
+	// JobsRetried / JobsRejected / JobsCancelled mirror the
+	// coordinator's counters of the same names.
+	JobsRetried   int `json:"jobs_retried,omitempty"`
+	JobsRejected  int `json:"jobs_rejected,omitempty"`
+	JobsCancelled int `json:"jobs_cancelled,omitempty"`
+	// QueueLen / QueueCap are the admission queue's current depth and
+	// capacity — the backpressure gauge.
+	QueueLen int `json:"queue_len,omitempty"`
+	QueueCap int `json:"queue_cap,omitempty"`
+	// Concurrency is the scheduler slot count — the denominator of
+	// fleet utilization.
+	Concurrency int `json:"concurrency,omitempty"`
+	// MaxAttempts is the per-job run budget (1 = retry disabled).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+}
 
 // KernelSpec is the JSON form of one graph's kernel configuration —
 // the part of a job that changes between runs of the same
@@ -177,6 +225,9 @@ type Message struct {
 
 	// Err carries a failure through prepared, ready, result and done.
 	Err string `json:"err,omitempty"`
+
+	// Stats is the coordinator snapshot of a statsreply.
+	Stats *StatsInfo `json:"stats,omitempty"`
 }
 
 // WriteMessage frames one message onto w: compact JSON followed by a

@@ -13,15 +13,25 @@
 // regardless of compression.
 //
 // Rejected submissions (the coordinator's queue-full fast path) are
-// resubmitted with exponential back-off up to -retries times, per the
-// admission-control contract; the timeline's rejected and retried
-// columns make the back-pressure visible. Submissions mix the -shapes
-// list round-robin, so distinct graph shapes contend the coordinator's
+// resubmitted with jittered exponential back-off up to -retries times,
+// per the admission-control contract; the timeline's rejected, retried
+// and gave_up columns make the back-pressure — and the load the client
+// permanently sheds — visible. Submissions mix the -shapes list
+// round-robin, so distinct graph shapes contend the coordinator's
 // per-shape configuration cache and run locks the way a real mixed
 // workload would.
+//
+// -chaos injects a deterministic fault schedule (see internal/chaos)
+// into the client's submission path: delays stall submissions, and
+// drop/reset rules at the pre-submit point burn a resubmission attempt
+// as if the coordinator had rejected the job, so lost submissions stay
+// inside the retry budget instead of poisoning the shared control
+// connection.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"taskbench/internal/chaos"
 	"taskbench/internal/cluster"
 	"taskbench/internal/pattern"
 	"taskbench/internal/timeline"
@@ -65,6 +76,8 @@ func run(args []string) error {
 	backoff := fs.Duration("backoff", 10*time.Millisecond, "base real-time back-off after a rejection (doubles per attempt)")
 	poll := fs.Duration("poll", 100*time.Millisecond, "real-time period of the coordinator stats poller")
 	drain := fs.Duration("drain", 60*time.Second, "real-time grace for in-flight jobs after the last arrival")
+	chaosFlag := fs.String("chaos", "", "chaos scenario for the submission path: a preset ("+strings.Join(chaos.PresetNames(), ", ")+") or a rule script")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed of the chaos fault schedule")
 	csvPath := fs.String("timeline-csv", "", "stream timeline rows as CSV to this file")
 	jsonPath := fs.String("timeline-json", "-", "write the timeline JSON document here (- for stdout)")
 	fs.Parse(args)
@@ -83,6 +96,15 @@ func run(args []string) error {
 	var rng *rand.Rand
 	if *seed != 0 {
 		rng = rand.New(rand.NewSource(*seed))
+	}
+	var inj *chaos.Injector
+	if *chaosFlag != "" {
+		sc, err := chaos.Parse(*chaosFlag)
+		if err != nil {
+			return err
+		}
+		inj = chaos.NewInjector(sc, *chaosSeed).Fork("client")
+		log.Printf("chaos: scenario %s (seed %d)", sc, *chaosSeed)
 	}
 
 	var sink func(timeline.Row)
@@ -108,7 +130,9 @@ func run(args []string) error {
 		return err
 	}
 	defer cli.Close()
-	info, err := cli.Stats()
+	initCtx, initCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	info, err := cli.StatsContext(initCtx)
+	initCancel()
 	if err != nil {
 		return fmt.Errorf("initial stats: %w", err)
 	}
@@ -135,7 +159,13 @@ func run(args []string) error {
 
 	// The stats poller samples the coordinator's gauges into the
 	// timeline and advances the streaming window as simulated time
-	// passes.
+	// passes. Each query carries a deadline so a stalled coordinator
+	// (or a chaos-delayed control path) costs one skipped sample, not a
+	// wedged poller.
+	statsTimeout := 10 * *poll
+	if statsTimeout < time.Second {
+		statsTimeout = time.Second
+	}
 	var pollWG sync.WaitGroup
 	pollWG.Add(1)
 	go func() {
@@ -148,7 +178,12 @@ func run(args []string) error {
 				return
 			case <-tick.C:
 			}
-			s, err := cli.Stats()
+			ctx, cancel := context.WithTimeout(context.Background(), statsTimeout)
+			s, err := cli.StatsContext(ctx)
+			cancel()
+			if errors.Is(err, context.DeadlineExceeded) {
+				continue
+			}
 			if err != nil {
 				protoErr.Store(true)
 				return
@@ -189,7 +224,7 @@ submitting:
 		jobWG.Add(1)
 		go func() {
 			defer jobWG.Done()
-			if !oneJob(cli, spec, clock, col, *retries, *backoff) {
+			if !oneJob(cli, spec, clock, col, inj, *retries, *backoff) {
 				if !protoErr.Load() {
 					atomic.AddInt64(&gaveUp, 1)
 				}
@@ -229,14 +264,34 @@ submitting:
 }
 
 // oneJob submits the spec and follows it to an outcome, resubmitting
-// with exponential back-off when the coordinator rejects it. It reports
-// whether the job reached a terminal verdict (completed or failed);
-// false means it gave up after exhausting resubmissions or the
-// connection died.
-func oneJob(cli *cluster.Client, spec wire.AppSpec, clock pattern.Clock, col *timeline.Collector, retries int, backoff time.Duration) bool {
+// with jittered exponential back-off when the coordinator rejects it
+// (or a chaos rule eats the submission). It reports whether the job
+// reached a terminal verdict (completed or failed); false means it
+// gave up after exhausting its resubmission budget or the connection
+// died.
+func oneJob(cli *cluster.Client, spec wire.AppSpec, clock pattern.Clock, col *timeline.Collector, inj *chaos.Injector, retries int, backoff time.Duration) bool {
 	for attempt := 0; ; attempt++ {
 		submitSim := clock.Sim(time.Now())
+		act := inj.Point("pre-submit")
+		if act.Delay > 0 {
+			time.Sleep(act.Delay)
+			submitSim = clock.Sim(time.Now())
+		}
 		col.Submitted(submitSim)
+		if act.Drop || act.Reset {
+			// The scripted fault ate the submission before the
+			// coordinator saw it. That burns an attempt from the same
+			// budget as a rejection — a real lost frame costs the client
+			// a timeout-and-resubmit round.
+			now := clock.Sim(time.Now())
+			if attempt >= retries {
+				col.GaveUp(now)
+				return false
+			}
+			sleepBackoff(backoff, attempt)
+			col.Retried(clock.Sim(time.Now()))
+			continue
+		}
 		p, err := cli.SubmitAsync(spec)
 		if err != nil {
 			return false
@@ -249,10 +304,10 @@ func oneJob(cli *cluster.Client, spec wire.AppSpec, clock pattern.Clock, col *ti
 		if res.Rejected {
 			col.Rejected(now)
 			if attempt >= retries {
-				col.Cancelled(now)
+				col.GaveUp(now)
 				return false
 			}
-			time.Sleep(backoff << uint(attempt))
+			sleepBackoff(backoff, attempt)
 			col.Retried(clock.Sim(time.Now()))
 			continue
 		}
@@ -266,6 +321,17 @@ func oneJob(cli *cluster.Client, spec wire.AppSpec, clock pattern.Clock, col *ti
 		}
 		return true
 	}
+}
+
+// sleepBackoff sleeps the attempt's back-off: base doubled per attempt,
+// jittered uniformly over [d/2, 3d/2) so synchronized rejections don't
+// resubmit in lockstep and re-collide on the same queue-full instant.
+func sleepBackoff(base time.Duration, attempt int) {
+	if attempt > 16 {
+		attempt = 16
+	}
+	d := int64(base) << uint(attempt)
+	time.Sleep(time.Duration(d/2 + rand.Int63n(d+1)))
 }
 
 // parseShapes turns the -shapes list ("type/WIDTHxSTEPS/RANKS", comma

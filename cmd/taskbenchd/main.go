@@ -15,6 +15,13 @@
 // graph shape share one prepared configuration (plans, payload rows,
 // live TCP mesh) across requests, so sweeps pay mesh establishment
 // once.
+//
+// The fleet is elastic: workers may join mid-run (queued jobs re-plan
+// over the grown fleet) and leave gracefully — a worker started with
+// -drain-on SIGTERM answers the first SIGTERM by announcing a drain,
+// finishing its in-flight runs, and exiting once the coordinator
+// releases it. -chaos injects a deterministic fault schedule (see
+// internal/chaos) for robustness testing.
 package main
 
 import (
@@ -23,9 +30,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"taskbench/internal/chaos"
 	"taskbench/internal/cluster"
 	"taskbench/internal/wire"
 )
@@ -58,8 +67,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   taskbenchd coordinator [-listen addr] [-heartbeat d] [-timeout d] [-job-timeout d]
-                         [-concurrency n] [-retries n] [-queue n] [-proto json|binary]
-  taskbenchd worker -coordinator addr [-name s] [-advertise host] [-proto json|binary]`)
+                         [-concurrency n] [-retries n] [-queue n] [-max-configs n]
+                         [-drain-timeout d] [-proto json|binary] [-chaos scenario]
+  taskbenchd worker -coordinator addr [-name s] [-advertise host] [-proto json|binary]
+                    [-drain-on SIGTERM] [-chaos scenario] [-chaos-seed n]`)
 }
 
 func runCoordinator(args []string) error {
@@ -71,12 +82,20 @@ func runCoordinator(args []string) error {
 	concurrency := fs.Int("concurrency", 4, "scheduler slots: jobs that may run across the fleet at once")
 	retries := fs.Int("retries", 2, "re-runs per job when workers die mid-run (0 disables retry)")
 	queue := fs.Int("queue", 64, "job queue depth; submissions beyond it are rejected immediately")
+	maxConfigs := fs.Int("max-configs", 32, "prepared shape configurations kept live; cold ones are evicted LRU")
+	drainTimeout := fs.Duration("drain-timeout", 0, "grace for a draining worker's in-flight runs before it is declared dead (default -job-timeout)")
 	proto := fs.String("proto", "binary", "control frame format to negotiate: binary or json (json pins every conversation to the debug format)")
+	chaosFlag := fs.String("chaos", "", "chaos scenario for worker control conversations: a preset ("+strings.Join(chaos.PresetNames(), ", ")+") or a rule script")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed of the chaos fault schedule")
 	fs.Parse(args)
 	if *retries < 0 {
 		*retries = 0
 	}
 	if err := checkProto(*proto); err != nil {
+		return err
+	}
+	inj, err := parseChaos(*chaosFlag, *chaosSeed)
+	if err != nil {
 		return err
 	}
 
@@ -87,10 +106,13 @@ func runCoordinator(args []string) error {
 		JobTimeout:        *jobTimeout,
 		Concurrency:       *concurrency,
 		// -retries counts RE-runs; MaxAttempts counts total runs.
-		MaxAttempts: *retries + 1,
-		QueueDepth:  *queue,
-		Proto:       *proto,
-		Logf:        log.Printf,
+		MaxAttempts:  *retries + 1,
+		QueueDepth:   *queue,
+		MaxConfigs:   *maxConfigs,
+		DrainTimeout: *drainTimeout,
+		Proto:        *proto,
+		Chaos:        inj,
+		Logf:         log.Printf,
 	})
 	if err != nil {
 		return err
@@ -107,8 +129,18 @@ func runWorker(args []string) error {
 	name := fs.String("name", "", "worker name in coordinator logs (default hostname)")
 	advertise := fs.String("advertise", "127.0.0.1", "host peers dial for rank data connections")
 	proto := fs.String("proto", "binary", "control frame format to offer the coordinator: binary or json")
+	drainOn := fs.String("drain-on", "", "signal that triggers a graceful drain instead of an abrupt exit (only SIGTERM); any further signal forces the abrupt path")
+	chaosFlag := fs.String("chaos", "", "chaos scenario for this worker's control and mesh paths: a preset ("+strings.Join(chaos.PresetNames(), ", ")+") or a rule script")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed of the chaos fault schedule")
 	fs.Parse(args)
 	if err := checkProto(*proto); err != nil {
+		return err
+	}
+	if *drainOn != "" && *drainOn != "SIGTERM" {
+		return fmt.Errorf("-drain-on supports only SIGTERM, got %q", *drainOn)
+	}
+	inj, err := parseChaos(*chaosFlag, *chaosSeed)
+	if err != nil {
 		return err
 	}
 
@@ -122,13 +154,45 @@ func runWorker(args []string) error {
 		Name:        *name,
 		Advertise:   *advertise,
 		Proto:       *proto,
+		Chaos:       inj,
 		Logf:        log.Printf,
 	})
 	go func() {
-		waitForSignal()
+		ch := make(chan os.Signal, 2)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		s := <-ch
+		if *drainOn == "SIGTERM" && s == syscall.SIGTERM {
+			log.Printf("taskbenchd: SIGTERM: draining (send another signal to force exit)")
+			if err := w.Drain(); err != nil {
+				log.Printf("taskbenchd: drain: %v; closing", err)
+				w.Close()
+				return
+			}
+			// Run exits on its own when the coordinator confirms the
+			// drain; a second signal cuts the wait short.
+			s = <-ch
+			log.Printf("taskbenchd: signal %v during drain: closing", s)
+			w.Close()
+			return
+		}
+		log.Printf("taskbenchd: signal %v: shutting down", s)
 		w.Close()
 	}()
 	return w.Run()
+}
+
+// parseChaos builds the seeded fault injector for a -chaos scenario;
+// an empty scenario disables injection.
+func parseChaos(scenario string, seed int64) (*chaos.Injector, error) {
+	if scenario == "" {
+		return nil, nil
+	}
+	sc, err := chaos.Parse(scenario)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("taskbenchd: chaos scenario %s (seed %d)", sc, seed)
+	return chaos.NewInjector(sc, seed), nil
 }
 
 func checkProto(p string) error {

@@ -1,0 +1,435 @@
+// Package chaos is a deterministic fault-injection harness for the
+// cluster subsystem. A Scenario is a small script of fault rules —
+// delayed, dropped or duplicated control frames, connection resets at
+// named protocol points, slow-worker throttling, heartbeat suppression
+// — and an Injector evaluates that script against a seeded PRNG, so
+// the same (scenario, seed) pair always yields the same fault
+// schedule. Tests inject it in-process through cluster.Options /
+// cluster.WorkerOptions; a live fleet takes it via `taskbenchd worker
+// -chaos` and `loadgen -chaos`.
+//
+// Scenario strings are semicolon-separated rules:
+//
+//	delay:p=0.2,d=5ms          delay a control frame 5ms with prob 0.2
+//	drop:p=0.05                drop a control frame (pretend success)
+//	dup:p=0.05                 write a control frame twice
+//	slow:d=2ms                 delay EVERY frame (slow-worker throttle)
+//	reset:at=post-prepare,n=1  close the connection at a named point
+//	reset:at=mid-run,after=1   ... skipping the first occurrence
+//	mute-hb:after=3,n=10       suppress 10 heartbeats after the 3rd
+//
+// Rules default to the control plane; `on=mesh` scopes a delay/drop
+// rule to mesh (data-plane) writes instead, applied through WrapConn.
+// Probabilistic rules draw from the injector's own PRNG in rule order,
+// which is what makes a schedule reproducible: determinism holds per
+// injector for a given call sequence, and Fork derives independent
+// deterministic children for concurrent streams (one per connection).
+//
+// The named protocol points the cluster worker consults today are
+// "post-prepare" (its prepared reply is on the wire), "mid-run" (a run
+// just started executing; the reset fires act.Delay later, concurrent
+// with the run) and "pre-result" (a result is about to be written);
+// loadgen consults "pre-submit". Points are matched by exact name, so
+// scenarios and code cannot drift silently — an unknown point simply
+// never fires.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rule kinds.
+const (
+	KindDelay  = "delay"
+	KindDrop   = "drop"
+	KindDup    = "dup"
+	KindSlow   = "slow"
+	KindReset  = "reset"
+	KindMuteHB = "mute-hb"
+)
+
+// Scopes a frame rule applies to.
+const (
+	OnControl = "control"
+	OnMesh    = "mesh"
+)
+
+// Rule is one scripted fault.
+type Rule struct {
+	// Kind selects the fault: delay, drop, dup, slow, reset, mute-hb.
+	Kind string
+	// P is the per-event probability of delay/drop/dup rules; slow is
+	// delay with P pinned to 1.
+	P float64
+	// Delay is the injected latency of delay/slow rules, and the fuse
+	// of a mid-run reset (how long after the point the reset fires).
+	Delay time.Duration
+	// At names the protocol point a reset rule fires at.
+	At string
+	// After skips the first After occurrences (reset: occurrences of
+	// the point; mute-hb: heartbeats).
+	After int
+	// N bounds how many times the rule fires; 0 means unlimited for
+	// frame rules, and defaults to 1 (reset) or 5 (mute-hb).
+	N int
+	// On scopes a frame rule to "control" (default) or "mesh" writes.
+	On string
+}
+
+// Scenario is a parsed fault script.
+type Scenario struct {
+	Name  string
+	Rules []Rule
+}
+
+// Presets are named ready-made scenarios, usable anywhere a scenario
+// string is: `-chaos flaky` is `-chaos 'delay:p=0.2,d=2ms;dup:p=0.05'`.
+var Presets = map[string]string{
+	// flaky: a lossy, laggy control plane — latency spikes, duplicated
+	// and occasionally dropped frames. Timeouts and (job, attempt)
+	// matching must absorb all of it.
+	"flaky": "delay:p=0.2,d=2ms;dup:p=0.05;drop:p=0.02",
+	// reset-storm: connections die at the protocol's tender points.
+	"reset-storm": "reset:at=post-prepare,n=1;reset:at=mid-run,after=1,n=1,d=50ms",
+	// slow-worker: every control frame crawls, throttling one worker
+	// without killing it.
+	"slow-worker": "slow:d=2ms",
+	// dead-air: the worker stays alive but stops heartbeating, forcing
+	// the coordinator onto its heartbeat-timeout death path.
+	"dead-air": "mute-hb:after=3,n=1000",
+}
+
+// PresetNames lists the preset scenarios, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(Presets))
+	for n := range Presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse turns a scenario string — a preset name or a rule script — into
+// a Scenario.
+func Parse(s string) (*Scenario, error) {
+	name := s
+	if expanded, ok := Presets[strings.TrimSpace(s)]; ok {
+		s = expanded
+	} else {
+		name = "custom"
+	}
+	sc := &Scenario{Name: name}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rule, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		sc.Rules = append(sc.Rules, rule)
+	}
+	if len(sc.Rules) == 0 {
+		return nil, fmt.Errorf("chaos: scenario %q has no rules", s)
+	}
+	return sc, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	kind, params, _ := strings.Cut(s, ":")
+	r := Rule{Kind: strings.TrimSpace(kind), On: OnControl}
+	switch r.Kind {
+	case KindDelay, KindSlow:
+		r.P, r.Delay = 1, time.Millisecond
+	case KindDrop, KindDup:
+		r.P = 0.05
+	case KindReset:
+		r.N = 1
+	case KindMuteHB:
+		r.N = 5
+	default:
+		return Rule{}, fmt.Errorf("chaos: unknown rule kind %q", r.Kind)
+	}
+	if params != "" {
+		for _, p := range strings.Split(params, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok {
+				return Rule{}, fmt.Errorf("chaos: rule %q: parameter %q is not key=value", s, p)
+			}
+			var err error
+			switch key {
+			case "p":
+				_, err = fmt.Sscanf(val, "%g", &r.P)
+				if err == nil && (r.P < 0 || r.P > 1) {
+					err = fmt.Errorf("probability %g outside [0,1]", r.P)
+				}
+			case "d":
+				r.Delay, err = time.ParseDuration(val)
+			case "at":
+				r.At = val
+			case "after":
+				_, err = fmt.Sscanf(val, "%d", &r.After)
+			case "n":
+				_, err = fmt.Sscanf(val, "%d", &r.N)
+			case "on":
+				if val != OnControl && val != OnMesh {
+					err = fmt.Errorf("want control or mesh, got %q", val)
+				}
+				r.On = val
+			default:
+				err = fmt.Errorf("unknown key")
+			}
+			if err != nil {
+				return Rule{}, fmt.Errorf("chaos: rule %q: %s: %v", s, key, err)
+			}
+		}
+	}
+	if r.Kind == KindSlow {
+		r.P = 1
+	}
+	if r.Kind == KindReset && r.At == "" {
+		return Rule{}, fmt.Errorf("chaos: rule %q: reset requires at=<point>", s)
+	}
+	return r, nil
+}
+
+// String renders the scenario back into its script form.
+func (sc *Scenario) String() string {
+	var parts []string
+	for _, r := range sc.Rules {
+		var ps []string
+		switch r.Kind {
+		case KindDelay, KindDrop, KindDup, KindSlow:
+			ps = append(ps, fmt.Sprintf("p=%g", r.P))
+			if r.Delay > 0 {
+				ps = append(ps, "d="+r.Delay.String())
+			}
+			if r.On == OnMesh {
+				ps = append(ps, "on=mesh")
+			}
+			if r.N > 0 {
+				ps = append(ps, fmt.Sprintf("n=%d", r.N))
+			}
+		case KindReset:
+			ps = append(ps, "at="+r.At)
+			if r.After > 0 {
+				ps = append(ps, fmt.Sprintf("after=%d", r.After))
+			}
+			ps = append(ps, fmt.Sprintf("n=%d", r.N))
+			if r.Delay > 0 {
+				ps = append(ps, "d="+r.Delay.String())
+			}
+		case KindMuteHB:
+			ps = append(ps, fmt.Sprintf("after=%d", r.After), fmt.Sprintf("n=%d", r.N))
+		}
+		parts = append(parts, r.Kind+":"+strings.Join(ps, ","))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Action is one injection decision: what to do to the frame (or point)
+// just consulted.
+type Action struct {
+	// Delay is slept before the write (or before a mid-run reset).
+	Delay time.Duration
+	// Drop discards the frame while pretending the write succeeded.
+	Drop bool
+	// Dup writes the frame twice.
+	Dup bool
+	// Reset closes the connection.
+	Reset bool
+}
+
+// Injector evaluates one Scenario deterministically. All methods are
+// safe for concurrent use (a mutex serializes the PRNG), and all are
+// nil-safe: a nil *Injector injects nothing, so call sites need no
+// guards. Determinism is per call sequence: one injector consulted in
+// the same order always decides the same way, so concurrent streams
+// should each Fork their own child.
+type Injector struct {
+	sc   *Scenario
+	seed int64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	fired []int          // per-rule firings (N budgets)
+	seen  map[string]int // per-point occurrence counts
+	hb    int            // heartbeats consulted
+}
+
+// NewInjector builds an injector for the scenario with the given seed.
+func NewInjector(sc *Scenario, seed int64) *Injector {
+	return &Injector{
+		sc:    sc,
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
+		fired: make([]int, len(sc.Rules)),
+		seen:  map[string]int{},
+	}
+}
+
+// Fork derives a child injector whose seed is a hash of this
+// injector's seed and the name — the same (parent seed, name) pair
+// always produces the same child schedule, independent of how
+// concurrent streams interleave. Fork of nil is nil.
+func (in *Injector) Fork(name string) *Injector {
+	if in == nil {
+		return nil
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", in.seed, name)
+	return NewInjector(in.sc, int64(h.Sum64()))
+}
+
+// Scenario returns the script this injector evaluates (nil-safe).
+func (in *Injector) Scenario() *Scenario {
+	if in == nil {
+		return nil
+	}
+	return in.sc
+}
+
+// budget consumes one firing of rule i if its N allows, reporting
+// whether the rule may fire. Callers hold in.mu.
+func (in *Injector) budget(i int) bool {
+	r := in.sc.Rules[i]
+	if r.N > 0 && in.fired[i] >= r.N {
+		return false
+	}
+	in.fired[i]++
+	return true
+}
+
+// frame evaluates the delay/drop/dup/slow rules of one scope against a
+// single frame write.
+func (in *Injector) frame(scope string) Action {
+	if in == nil {
+		return Action{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var act Action
+	for i, r := range in.sc.Rules {
+		if r.On != scope {
+			continue
+		}
+		switch r.Kind {
+		case KindDelay, KindSlow:
+			if (r.P >= 1 || in.rng.Float64() < r.P) && in.budget(i) {
+				act.Delay += r.Delay
+			}
+		case KindDrop:
+			if in.rng.Float64() < r.P && in.budget(i) {
+				act.Drop = true
+			}
+		case KindDup:
+			if in.rng.Float64() < r.P && in.budget(i) {
+				act.Dup = true
+			}
+		}
+	}
+	return act
+}
+
+// Frame is consulted once per control-plane frame write.
+func (in *Injector) Frame(msgType string) Action { return in.frame(OnControl) }
+
+// MeshFrame is consulted once per mesh (data-plane) write.
+func (in *Injector) MeshFrame() Action { return in.frame(OnMesh) }
+
+// Point is consulted at a named protocol point; a reset rule scripted
+// at this point (whose after/n budget allows) answers with Reset and
+// its fuse Delay.
+func (in *Injector) Point(name string) Action {
+	if in == nil {
+		return Action{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	occurrence := in.seen[name]
+	in.seen[name] = occurrence + 1
+	var act Action
+	for i, r := range in.sc.Rules {
+		if r.Kind != KindReset || r.At != name || occurrence < r.After {
+			continue
+		}
+		if in.budget(i) {
+			act.Reset = true
+			act.Delay = r.Delay
+		}
+	}
+	return act
+}
+
+// WrapConn returns a net.Conn wrapper applying this injector's
+// mesh-scoped rules to writes, or nil if there are none (or the
+// injector is nil) — callers pass the result straight to an optional
+// wrap hook. Delay throttles the write; Drop closes the connection and
+// fails the write: silently discarding bytes from a stream would be
+// framing corruption, not a fault a system is expected to survive,
+// while a reset is exactly the link failure the mesh teardown paths
+// exist for.
+func (in *Injector) WrapConn() func(net.Conn) net.Conn {
+	if in == nil {
+		return nil
+	}
+	mesh := false
+	for _, r := range in.sc.Rules {
+		if r.On == OnMesh {
+			mesh = true
+			break
+		}
+	}
+	if !mesh {
+		return nil
+	}
+	return func(c net.Conn) net.Conn { return &chaosConn{Conn: c, in: in} }
+}
+
+type chaosConn struct {
+	net.Conn
+	in *Injector
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	act := c.in.MeshFrame()
+	if act.Delay > 0 {
+		time.Sleep(act.Delay)
+	}
+	if act.Drop {
+		c.Conn.Close()
+		return 0, fmt.Errorf("chaos: mesh connection reset")
+	}
+	return c.Conn.Write(p)
+}
+
+// Heartbeat reports whether this heartbeat should be suppressed
+// (mute-hb rules count heartbeats consulted, not wall time, so the
+// schedule is deterministic).
+func (in *Injector) Heartbeat() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	beat := in.hb
+	in.hb++
+	mute := false
+	for i, r := range in.sc.Rules {
+		if r.Kind != KindMuteHB || beat < r.After {
+			continue
+		}
+		if in.budget(i) {
+			mute = true
+		}
+	}
+	return mute
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -86,6 +87,19 @@ func (p *Pending) Wait() (JobResult, error) {
 	return out.res, out.err
 }
 
+// WaitContext is Wait with a deadline: a stalled coordinator yields
+// ctx.Err() instead of a goroutine parked forever on the demux. The
+// submission itself stays in flight — a later Wait (or the read loop)
+// still resolves it, and callers abandoning the job should Cancel.
+func (p *Pending) WaitContext(ctx context.Context) (JobResult, error) {
+	select {
+	case out := <-p.ch:
+		return out.res, out.err
+	case <-ctx.Done():
+		return JobResult{}, ctx.Err()
+	}
+}
+
 // Cancel asks the coordinator to abandon the job: a queued job is
 // dropped, a running one is aborted and its workers released.
 // Best-effort — the job may complete first.
@@ -158,6 +172,14 @@ func (c *Client) SubmitAsync(spec wire.AppSpec) (*Pending, error) {
 // freely interleaved with in-flight submissions: requests are matched
 // to replies by a correlation id, not by order.
 func (c *Client) Stats() (wire.StatsInfo, error) {
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats with a deadline: a stalled coordinator (alive
+// TCP connection, wedged process) yields ctx.Err() instead of a
+// goroutine parked forever on the demux. An abandoned query's late
+// reply is dropped by the read loop, not mistaken for a failure.
+func (c *Client) StatsContext(ctx context.Context) (wire.StatsInfo, error) {
 	ch := make(chan statsOutcome, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -181,8 +203,15 @@ func (c *Client) Stats() (wire.StatsInfo, error) {
 		c.mu.Unlock()
 		return wire.StatsInfo{}, fmt.Errorf("cluster: stats: %w", err)
 	}
-	out := <-ch
-	return out.info, out.err
+	select {
+	case out := <-ch:
+		return out.info, out.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.queries, id)
+		c.mu.Unlock()
+		return wire.StatsInfo{}, ctx.Err()
+	}
 }
 
 // Submit queues one job and blocks until it completes or is rejected.
@@ -251,8 +280,9 @@ func (c *Client) readLoop() {
 			delete(c.queries, m.Job)
 			c.mu.Unlock()
 			if ch == nil {
-				c.failAll(fmt.Errorf("cluster: statsreply for unknown query %d", m.Job))
-				return
+				// The query timed out (StatsContext) and was abandoned;
+				// its late reply is stale, not a protocol violation.
+				continue
 			}
 			var info wire.StatsInfo
 			if m.Stats != nil {

@@ -53,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"taskbench/internal/chaos"
 	"taskbench/internal/wire"
 )
 
@@ -75,6 +76,13 @@ type msgConn struct {
 	wmu          sync.Mutex
 	writeTimeout time.Duration
 	binary       atomic.Bool
+	// chaos, when set (before the connection is shared), injects
+	// scripted control-frame faults into this side's writes: delays,
+	// drops (the write pretends to succeed) and duplicates. Heartbeats
+	// are exempt from drop/dup — suppressing them is its own scripted
+	// fault (mute-hb), not a side effect of frame loss, so scenarios
+	// stay orthogonal.
+	chaos *chaos.Injector
 }
 
 func newMsgConn(conn net.Conn) *msgConn {
@@ -86,15 +94,38 @@ func (c *msgConn) read() (wire.Message, error) {
 }
 
 func (c *msgConn) write(m wire.Message) error {
+	writes := 1
+	if c.chaos != nil {
+		act := c.chaos.Frame(m.Type)
+		if act.Delay > 0 {
+			time.Sleep(act.Delay)
+		}
+		if m.Type != wire.MsgHeartbeat {
+			if act.Drop {
+				return nil
+			}
+			if act.Dup {
+				writes = 2
+			}
+		}
+	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if c.writeTimeout > 0 {
-		c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	for ; writes > 0; writes-- {
+		if c.writeTimeout > 0 {
+			c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+		}
+		var err error
+		if c.binary.Load() {
+			err = wire.WriteMessageBinary(c.conn, m)
+		} else {
+			err = wire.WriteMessage(c.conn, m)
+		}
+		if err != nil {
+			return err
+		}
 	}
-	if c.binary.Load() {
-		return wire.WriteMessageBinary(c.conn, m)
-	}
-	return wire.WriteMessage(c.conn, m)
+	return nil
 }
 
 func (c *msgConn) close() { c.conn.Close() }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"taskbench/internal/chaos"
 	"taskbench/internal/runtime/exec"
 	"taskbench/internal/wire"
 )
@@ -51,6 +52,21 @@ type Options struct {
 	// re-provisioned over the reshaped fleet, up to this many attempts.
 	// 1 disables retry.
 	MaxAttempts int
+	// MaxConfigs caps how many shapes may hold a prepared configuration
+	// (plans, payload rows, a live mesh) across the fleet at once;
+	// default 32. Past the cap the least-recently-used idle shape is
+	// evicted, so an elastic fleet reshaping under a long-tailed shape
+	// mix recycles mesh state instead of accumulating it forever.
+	MaxConfigs int
+	// DrainTimeout bounds a graceful drain: a worker whose configs are
+	// still busy after this long is treated as dead (configs torn,
+	// running attempts retried) instead of holding its departure
+	// hostage. Default JobTimeout.
+	DrainTimeout time.Duration
+	// Chaos, when set, injects scripted faults into the control frames
+	// this coordinator writes (forked per accepted connection). Tests
+	// and the chaos harness only; nil injects nothing.
+	Chaos *chaos.Injector
 	// Logf, when set, receives coordinator lifecycle logging.
 	Logf func(format string, args ...any)
 }
@@ -79,6 +95,12 @@ func (o *Options) fill() {
 	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 3
+	}
+	if o.MaxConfigs <= 0 {
+		o.MaxConfigs = 32
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = o.JobTimeout
 	}
 	if o.Proto == "" {
 		o.Proto = wire.ProtoBinary
@@ -117,6 +139,16 @@ type Stats struct {
 	// JobsCancelled counts jobs abandoned before completion because
 	// their client disconnected or sent an explicit cancel.
 	JobsCancelled int
+	// ConfigsReprovisioned counts prepared configurations torn down and
+	// rebuilt because the fleet changed under them — a join that let a
+	// shape spread wider, or a drain that excluded a member.
+	ConfigsReprovisioned int
+	// ConfigsEvicted counts idle configurations dropped by the
+	// MaxConfigs LRU cap.
+	ConfigsEvicted int
+	// WorkersDraining is a gauge: fleet members mid-drain, excluded
+	// from new placement but not yet released.
+	WorkersDraining int
 }
 
 // Coordinator accepts worker registrations and client job submissions
@@ -129,13 +161,15 @@ type Coordinator struct {
 	workers      map[int64]*workerConn
 	fleetChanged chan struct{} // closed and replaced on every registration/death
 	configs      map[string]*configEntry
-	conns        map[*msgConn]struct{} // every open control connection (workers and clients)
+	building     map[*clusterConfig]struct{} // configs mid-provision, not yet in an entry
+	conns        map[*msgConn]struct{}       // every open control connection (workers and clients)
 	stats        Stats
 	inFlight     int
 	running      int
 	nextWorker   int64
 	nextConfig   uint64
 	nextJob      uint64
+	nextConn     int64
 
 	queue chan *job
 	done  chan struct{}
@@ -153,6 +187,10 @@ type workerConn struct {
 	dead     chan struct{}
 	deadOnce sync.Once
 
+	// draining is guarded by Coordinator.mu: once set, buildConfig no
+	// longer places configurations on this worker.
+	draining bool
+
 	mu      sync.Mutex
 	waiters map[string]chan wire.Message
 }
@@ -169,6 +207,13 @@ type clusterConfig struct {
 	// lost is set when a member died: a job that failed on this
 	// configuration may retry over the reshaped fleet.
 	lost atomic.Bool
+	// stale is set when the fleet changed in a way this configuration
+	// should react to — a join that would let the shape spread wider,
+	// or a member starting to drain. The next job of the shape drops
+	// and re-provisions instead of reusing; unlike lost, nothing about
+	// the prepared state is broken, so a run already in flight finishes
+	// normally.
+	stale atomic.Bool
 }
 
 // configEntry is the scheduler's per-shape slot: its run lock
@@ -185,9 +230,12 @@ type clusterConfig struct {
 type configEntry struct {
 	key  string
 	lock chan struct{} // buffered(1): send acquires, receive releases
-	// cfg and active are guarded by Coordinator.mu.
+	// cfg, active and lastUsed are guarded by Coordinator.mu.
 	cfg    *clusterConfig
 	active int
+	// lastUsed orders entries for LRU eviction under the MaxConfigs
+	// cap; stamped every time a job takes a reference.
+	lastUsed time.Time
 }
 
 // errWorkerLost marks failures caused by a worker leaving the fleet —
@@ -253,6 +301,7 @@ func Start(opts Options) (*Coordinator, error) {
 		workers:      map[int64]*workerConn{},
 		fleetChanged: make(chan struct{}),
 		configs:      map[string]*configEntry{},
+		building:     map[*clusterConfig]struct{}{},
 		conns:        map[*msgConn]struct{}{},
 		queue:        make(chan *job, opts.QueueDepth),
 		done:         make(chan struct{}),
@@ -278,7 +327,19 @@ func (c *Coordinator) Stats() Stats {
 	s.Workers = len(c.workers)
 	s.JobsInFlight = c.inFlight
 	s.JobsRunning = c.running
+	s.WorkersDraining = c.drainingLocked()
 	return s
+}
+
+// drainingLocked counts mid-drain fleet members. Callers hold c.mu.
+func (c *Coordinator) drainingLocked() int {
+	n := 0
+	for _, w := range c.workers {
+		if w.draining {
+			n++
+		}
+	}
+	return n
 }
 
 // statsInfo snapshots the coordinator for a statsreply: the Stats
@@ -302,6 +363,10 @@ func (c *Coordinator) statsInfo() *wire.StatsInfo {
 		QueueCap:      c.opts.QueueDepth,
 		Concurrency:   c.opts.Concurrency,
 		MaxAttempts:   c.opts.MaxAttempts,
+
+		ConfigsReprovisioned: c.stats.ConfigsReprovisioned,
+		ConfigsEvicted:       c.stats.ConfigsEvicted,
+		WorkersDraining:      c.drainingLocked(),
 	}
 }
 
@@ -440,6 +505,16 @@ func (c *Coordinator) serveWorker(mc *msgConn, reg wire.Message) {
 		waiters: map[string]chan wire.Message{},
 	}
 	w.lastSeen.Store(time.Now().UnixNano())
+	// Chaos scopes to worker conversations only: the client admission
+	// protocol matches replies to submits in FIFO order, so dropping a
+	// client frame would desynchronize the connection rather than
+	// exercise a recoverable fault. Forked per worker connection so
+	// concurrent workers cannot perturb each other's schedules.
+	c.mu.Lock()
+	c.nextConn++
+	seq := c.nextConn
+	c.mu.Unlock()
+	mc.chaos = c.opts.Chaos.Fork(fmt.Sprintf("coord-worker-%d", seq))
 
 	c.mu.Lock()
 	c.nextWorker++
@@ -447,9 +522,33 @@ func (c *Coordinator) serveWorker(mc *msgConn, reg wire.Message) {
 	if w.name == "" {
 		w.name = fmt.Sprintf("worker-%d", w.id)
 	}
+	// A named worker re-registering after a fast restart replaces its
+	// stale fleet entry instead of double-counting slots: the old
+	// connection is a corpse the heartbeat monitor has not yet noticed.
+	var replaced *workerConn
+	if reg.Name != "" {
+		for _, old := range c.workers {
+			if old.name == reg.Name {
+				replaced = old
+				break
+			}
+		}
+	}
 	c.workers[w.id] = w
 	c.bumpFleetLocked()
+	// Join-triggered growth: shapes squeezed onto fewer members than
+	// they have ranks can spread wider now — mark them stale so their
+	// next job re-provisions over the grown fleet instead of reusing
+	// the narrow mesh.
+	for _, e := range c.configs {
+		if e.cfg != nil && e.cfg.ranks > len(e.cfg.members) {
+			e.cfg.stale.Store(true)
+		}
+	}
 	c.mu.Unlock()
+	if replaced != nil {
+		c.markDead(replaced, fmt.Errorf("replaced by re-registration from %s", mc.remoteAddr()))
+	}
 
 	// Frame-format negotiation: a register carrying the binary offer
 	// means the worker reads binary frames, so this side may write them
@@ -491,6 +590,8 @@ func (c *Coordinator) serveWorker(mc *msgConn, reg wire.Message) {
 			// Keyed by (job, attempt): a stale attempt's late result
 			// finds no waiter instead of satisfying the live attempt.
 			w.route(fmt.Sprintf("result/%d.%d", m.Job, m.Attempt), m)
+		case wire.MsgDrain:
+			c.beginDrain(w)
 		default:
 			c.opts.Logf("cluster: worker %q sent unexpected %q", w.name, m.Type)
 		}
@@ -549,6 +650,129 @@ func (c *Coordinator) releaseConfig(cfg *clusterConfig, skip *workerConn) {
 		}
 		member.mc.write(wire.Message{Type: wire.MsgRelease, Config: cfg.id})
 	}
+}
+
+// configHas reports whether w is a member of cfg.
+func configHas(cfg *clusterConfig, w *workerConn) bool {
+	for _, member := range cfg.members {
+		if member == w {
+			return true
+		}
+	}
+	return false
+}
+
+// beginDrain starts a worker's graceful departure: it leaves the
+// placement pool immediately (buildConfig skips draining workers), its
+// prepared configurations are marked stale so the next job of each
+// shape re-provisions without it, and a drain goroutine waits for the
+// configurations still pinning it to empty out before releasing it.
+// Unlike the death path, nothing is torn out from under a running
+// attempt — that is the whole point of draining.
+func (c *Coordinator) beginDrain(w *workerConn) {
+	c.mu.Lock()
+	if w.draining {
+		c.mu.Unlock()
+		return // duplicate drain announcement
+	}
+	w.draining = true
+	for _, e := range c.configs {
+		if e.cfg != nil && configHas(e.cfg, w) {
+			e.cfg.stale.Store(true)
+		}
+	}
+	c.bumpFleetLocked()
+	c.mu.Unlock()
+	c.opts.Logf("cluster: worker %q draining", w.name)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.drainWorker(w)
+	}()
+}
+
+// drainWorker waits until no configuration — prepared or mid-build —
+// references the draining worker, proactively tearing down idle ones,
+// then releases the worker with a drained reply. Configurations with
+// jobs in flight (active references) are left to finish or to observe
+// the stale flag themselves; freshly built ones that raced the drain
+// announcement are re-marked stale every pass. A drain that exceeds
+// DrainTimeout falls back to the death path: configs torn, running
+// attempts retried — the worker leaves either way.
+func (c *Coordinator) drainWorker(w *workerConn) {
+	deadline := time.NewTimer(c.opts.DrainTimeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(c.opts.HeartbeatInterval / 4)
+	defer tick.Stop()
+	for {
+		var idle []*clusterConfig
+		busy := false
+		c.mu.Lock()
+		for key, e := range c.configs {
+			cfg := e.cfg
+			if cfg == nil || !configHas(cfg, w) {
+				continue
+			}
+			// Re-mark every pass: a config built from a fleet snapshot
+			// taken before the drain began can land here afterwards.
+			cfg.stale.Store(true)
+			if e.active > 0 {
+				busy = true // a job holds or awaits this shape's run lock
+				continue
+			}
+			// Idle prepared config pinning the drainer: tear it down now
+			// rather than waiting for a next job of its shape that may
+			// never come. The next job of the shape rebuilds it over the
+			// post-drain fleet, so this counts as a re-provision.
+			e.cfg = nil
+			delete(c.configs, key)
+			c.stats.ConfigsReprovisioned++
+			idle = append(idle, cfg)
+		}
+		for cfg := range c.building {
+			if configHas(cfg, w) {
+				busy = true // mid-provision; invisible to the entry scan
+			}
+		}
+		changed := c.fleetChanged
+		c.mu.Unlock()
+		for _, cfg := range idle {
+			c.releaseConfig(cfg, nil)
+		}
+		if !busy && len(idle) == 0 {
+			c.finishDrain(w)
+			return
+		}
+		select {
+		case <-changed:
+		case <-tick.C:
+		case <-w.dead:
+			return // died (or was replaced) mid-drain: markDead handled it
+		case <-c.done:
+			return
+		case <-deadline.C:
+			c.opts.Logf("cluster: worker %q drain timed out after %v; falling back to death path", w.name, c.opts.DrainTimeout)
+			c.markDead(w, fmt.Errorf("drain timeout (%v)", c.opts.DrainTimeout))
+			return
+		}
+	}
+}
+
+// finishDrain completes a clean drain: the worker leaves the fleet and
+// is told it may exit. Claiming deadOnce here is what distinguishes
+// drain from death — the read loop's subsequent connection error and
+// the heartbeat monitor both become no-ops, so a drained worker's
+// departure produces zero worker-lost retries.
+func (c *Coordinator) finishDrain(w *workerConn) {
+	w.deadOnce.Do(func() {
+		c.mu.Lock()
+		delete(c.workers, w.id)
+		c.bumpFleetLocked()
+		c.mu.Unlock()
+		close(w.dead)
+		w.mc.write(wire.Message{Type: wire.MsgDrained, Worker: w.id})
+		c.opts.Logf("cluster: worker %q drained and released", w.name)
+	})
 }
 
 // monitorHeartbeats declares silent workers dead. Control-connection
@@ -855,20 +1079,21 @@ func (c *Coordinator) runJobWithRetry(j *job) (wire.Message, runVerdict) {
 // still listing the dead worker, burning the whole attempt budget in
 // microseconds. Waiting on membership (not merely on one fleet-change
 // event, which an unrelated registration also fires) guarantees the
-// retry sees a reshaped fleet.
+// retry sees a reshaped fleet. A retryable failure with no named
+// configuration (every worker mid-drain) instead waits for any fleet
+// change at all — a join or a completed drain is what unblocks it.
 func (c *Coordinator) waitMemberGone(failed *clusterConfig, j *job) {
-	if failed == nil {
-		return
-	}
 	deadline := time.NewTimer(c.opts.HeartbeatTimeout)
 	defer deadline.Stop()
 	for {
 		c.mu.Lock()
 		gone := false
-		for _, member := range failed.members {
-			if _, live := c.workers[member.id]; !live {
-				gone = true
-				break
+		if failed != nil {
+			for _, member := range failed.members {
+				if _, live := c.workers[member.id]; !live {
+					gone = true
+					break
+				}
 			}
 		}
 		changed := c.fleetChanged
@@ -878,6 +1103,9 @@ func (c *Coordinator) waitMemberGone(failed *clusterConfig, j *job) {
 		}
 		select {
 		case <-changed:
+			if failed == nil {
+				return // any reshape at all is what the retry needs
+			}
 		case <-j.cancel:
 			return
 		case <-c.done:
@@ -899,6 +1127,7 @@ func (c *Coordinator) entry(key string) *configEntry {
 		c.configs[key] = e
 	}
 	e.active++
+	e.lastUsed = time.Now()
 	return e
 }
 
@@ -938,6 +1167,16 @@ func (c *Coordinator) runJob(j *job) (wire.Message, runVerdict, *clusterConfig) 
 	c.mu.Lock()
 	cfg := e.cfg
 	c.mu.Unlock()
+	if cfg != nil && cfg.stale.Load() {
+		// The fleet changed under this configuration (join growth or a
+		// draining member). Holding the shape's run lock, drop it and
+		// provision fresh over the current fleet.
+		c.mu.Lock()
+		c.stats.ConfigsReprovisioned++
+		c.mu.Unlock()
+		c.dropConfig(e, cfg)
+		cfg = nil
+	}
 	if cfg == nil {
 		var err error
 		cfg, err = c.buildConfig(j.key, j.spec, j.cancel)
@@ -951,10 +1190,16 @@ func (c *Coordinator) runJob(j *job) (wire.Message, runVerdict, *clusterConfig) 
 			}
 			return fail("provision: %v", err), verdict, cfg
 		}
+		var evicted []*clusterConfig
 		c.mu.Lock()
 		e.cfg = cfg
+		delete(c.building, cfg) // ownership handoff; see buildConfig
 		c.stats.ConfigsBuilt++
+		evicted = c.evictColdLocked(e)
 		c.mu.Unlock()
+		for _, victim := range evicted {
+			c.releaseConfig(victim, nil)
+		}
 	} else {
 		c.mu.Lock()
 		c.stats.ConfigsReused++
@@ -1026,12 +1271,22 @@ func (c *Coordinator) buildConfig(key string, spec wire.AppSpec, cancel <-chan s
 	c.mu.Lock()
 	fleet := make([]*workerConn, 0, len(c.workers))
 	for _, w := range c.workers {
+		if w.draining {
+			continue // announced departure: place nothing new on it
+		}
 		fleet = append(fleet, w)
 	}
+	total := len(c.workers)
 	c.nextConfig++
 	id := c.nextConfig
 	c.mu.Unlock()
 	if len(fleet) == 0 {
+		if total > 0 {
+			// Every live worker is mid-drain: retryable, because a
+			// replacement joining (or a drain completing) reshapes the
+			// fleet — unlike an empty fleet, which is a standing error.
+			return nil, fmt.Errorf("all %d workers draining: %w", total, errWorkerLost)
+		}
 		return nil, fmt.Errorf("no workers registered")
 	}
 	sort.Slice(fleet, func(a, b int) bool { return fleet[a].id < fleet[b].id })
@@ -1048,6 +1303,21 @@ func (c *Coordinator) buildConfig(key string, spec wire.AppSpec, cancel <-chan s
 		}
 		cfg.members = append(cfg.members, w)
 		cfg.spans = append(cfg.spans, spans[k])
+	}
+
+	// Register the build so a concurrent drain sees the worker as busy
+	// even before the configuration lands in its entry — the fleet
+	// snapshot above may predate the drain announcement. On success the
+	// registration stays: the caller clears it in the same critical
+	// section that installs the config in its entry, so no instant
+	// exists where a drain scan sees the config in neither place.
+	c.mu.Lock()
+	c.building[cfg] = struct{}{}
+	c.mu.Unlock()
+	unbuild := func() {
+		c.mu.Lock()
+		delete(c.building, cfg)
+		c.mu.Unlock()
 	}
 
 	// Prepare: every member builds its local plan slice and binds its
@@ -1072,6 +1342,7 @@ func (c *Coordinator) buildConfig(key string, spec wire.AppSpec, cancel <-chan s
 		return nil
 	})
 	if err != nil {
+		unbuild()
 		c.releaseConfig(cfg, nil)
 		return cfg, err
 	}
@@ -1087,6 +1358,7 @@ func (c *Coordinator) buildConfig(key string, spec wire.AppSpec, cancel <-chan s
 		return err
 	})
 	if err != nil {
+		unbuild()
 		c.releaseConfig(cfg, nil)
 		return cfg, err
 	}
@@ -1103,6 +1375,40 @@ func (c *Coordinator) dropConfig(e *configEntry, cfg *clusterConfig) {
 	}
 	c.mu.Unlock()
 	c.releaseConfig(cfg, nil)
+}
+
+// evictColdLocked enforces the MaxConfigs cap: while more shapes hold
+// prepared configurations than the cap allows, the least-recently-used
+// entry with no active jobs is torn out of the map (nobody holds or
+// awaits its run lock, so nothing can be mid-run on it). keep — the
+// entry that just provisioned — is never a victim. Victims are
+// returned for release outside c.mu. If every over-cap entry is busy,
+// the fleet is genuinely that wide and the cap yields.
+func (c *Coordinator) evictColdLocked(keep *configEntry) []*clusterConfig {
+	var victims []*clusterConfig
+	for {
+		live := 0
+		var oldest *configEntry
+		for _, e := range c.configs {
+			if e.cfg == nil {
+				continue
+			}
+			live++
+			if e == keep || e.active != 0 {
+				continue
+			}
+			if oldest == nil || e.lastUsed.Before(oldest.lastUsed) {
+				oldest = e
+			}
+		}
+		if live <= c.opts.MaxConfigs || oldest == nil {
+			return victims
+		}
+		victims = append(victims, oldest.cfg)
+		oldest.cfg = nil
+		delete(c.configs, oldest.key)
+		c.stats.ConfigsEvicted++
+	}
 }
 
 // fanout runs f concurrently over the members and returns on the

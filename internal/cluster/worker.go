@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"taskbench/internal/chaos"
 	"taskbench/internal/core"
 	"taskbench/internal/runtime/exec"
 	"taskbench/internal/runtime/p2p"
@@ -33,6 +34,12 @@ type WorkerOptions struct {
 	// to pin the conversation to newline-delimited JSON for debugging.
 	// The offer only takes effect if the coordinator echoes it.
 	Proto string
+	// Chaos, when set, injects scripted faults into this worker:
+	// control-frame delays/drops/duplicates, connection resets at the
+	// named protocol points (post-prepare, mid-run, pre-result),
+	// heartbeat suppression, and mesh-write throttling. Nil injects
+	// nothing.
+	Chaos *chaos.Injector
 	// Logf, when set, receives worker lifecycle logging.
 	Logf func(format string, args ...any)
 }
@@ -123,6 +130,7 @@ func (w *Worker) Run() error {
 	default:
 	}
 	w.mc = newMsgConn(conn)
+	w.mc.chaos = w.opts.Chaos
 	w.mu.Unlock()
 	defer w.teardown()
 
@@ -146,7 +154,9 @@ func (w *Worker) Run() error {
 	if offer != "" && welcome.Proto == wire.ProtoBinary {
 		w.mc.binary.Store(true)
 	}
-	w.id = welcome.Worker
+	w.mu.Lock()
+	w.id = welcome.Worker // under mu: Drain reads it concurrently
+	w.mu.Unlock()
 	interval := time.Duration(welcome.HeartbeatNanos)
 	if interval <= 0 {
 		interval = time.Second
@@ -171,6 +181,7 @@ func (w *Worker) Run() error {
 			// Prepare is purely local (plan build, listener bind) and
 			// cannot wedge on peers, so it may hold the read loop.
 			w.mc.write(w.handlePrepare(m))
+			w.chaosPoint("post-prepare")
 		case wire.MsgConnect:
 			// Connects block on peer processes and runs block on the
 			// mesh, so neither may occupy the read loop: a release
@@ -181,10 +192,61 @@ func (w *Worker) Run() error {
 			go func(m wire.Message) { w.mc.write(w.handleRun(m)) }(m)
 		case wire.MsgRelease:
 			w.handleRelease(m.Config, fmt.Errorf("config %d released by coordinator", m.Config))
+		case wire.MsgDrained:
+			// The coordinator has unwound every configuration this worker
+			// hosted and will place nothing more on it: the graceful
+			// counterpart of a connection error, so Run returns nil.
+			w.opts.Logf("cluster: worker %d drained; exiting", w.id)
+			return nil
 		default:
 			w.opts.Logf("cluster: unexpected %q from coordinator", m.Type)
 		}
 	}
+}
+
+// Drain announces this worker's graceful departure to the coordinator:
+// no new configurations are placed on it, running attempts finish (or
+// are proactively re-provisioned), and once nothing references the
+// worker the coordinator answers drained — at which point Run returns
+// nil. The worker keeps serving its sessions in the meantime; Drain
+// only starts the exchange.
+func (w *Worker) Drain() error {
+	w.mu.Lock()
+	mc, id := w.mc, w.id
+	w.mu.Unlock()
+	if mc == nil {
+		return fmt.Errorf("cluster: drain before registration")
+	}
+	if err := mc.write(wire.Message{Type: wire.MsgDrain, Worker: id, Name: w.opts.Name}); err != nil {
+		return fmt.Errorf("cluster: drain: %w", err)
+	}
+	return nil
+}
+
+// chaosPoint consults the fault script at a named protocol point; a
+// scripted reset closes the control connection — immediately, or after
+// the rule's fuse delay (concurrently, so a mid-run reset lands while
+// the run is executing).
+func (w *Worker) chaosPoint(name string) {
+	act := w.opts.Chaos.Point(name)
+	if !act.Reset {
+		return
+	}
+	if act.Delay > 0 {
+		go func() {
+			timer := time.NewTimer(act.Delay)
+			defer timer.Stop()
+			select {
+			case <-w.done:
+			case <-timer.C:
+				w.opts.Logf("cluster: chaos reset at %s (+%v)", name, act.Delay)
+				w.mc.close()
+			}
+		}()
+		return
+	}
+	w.opts.Logf("cluster: chaos reset at %s", name)
+	w.mc.close()
 }
 
 // Close stops the worker: the control connection drops (the
@@ -224,6 +286,9 @@ func (w *Worker) heartbeat(interval time.Duration) {
 		case <-w.done:
 			return
 		case <-tick.C:
+		}
+		if w.opts.Chaos.Heartbeat() {
+			continue // scripted dead-air: alive but silent
 		}
 		if w.mc.write(wire.Message{Type: wire.MsgHeartbeat, Worker: w.id}) != nil {
 			return
@@ -304,6 +369,7 @@ func (w *Worker) handleConnect(m wire.Message) wire.Message {
 		Listener: sess.ln,
 		Timeout:  w.opts.SetupTimeout,
 		Cancel:   sess.cancel,
+		Wrap:     w.opts.Chaos.WrapConn(),
 	})
 	if err != nil {
 		w.dropSession(m.Config)
@@ -360,12 +426,14 @@ func (w *Worker) handleRun(m wire.Message) wire.Message {
 		sess.app.Graphs[gi].Kernel = k
 	}
 	sess.plan.Reset()
+	w.chaosPoint("mid-run") // a fused reset lands while the run executes
 	start := time.Now()
 	err := engine.Run(sess.app.Validate)
 	elapsed := time.Since(start)
 	if err != nil {
 		return fail("%v", err)
 	}
+	w.chaosPoint("pre-result")
 	return wire.Message{
 		Type:         wire.MsgResult,
 		Config:       m.Config,

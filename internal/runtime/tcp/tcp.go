@@ -175,6 +175,11 @@ type Topology struct {
 	// timestep boundary. For measuring the batching win
 	// (BenchmarkMeshSend) and debugging; production meshes batch.
 	NoBatch bool
+	// Wrap, when non-nil, wraps every outbound (dialed) mesh connection
+	// after its handshake — the chaos harness's injection point for
+	// data-plane throttling and resets. The wrapper must preserve Close
+	// semantics; mesh teardown closes through it.
+	Wrap func(net.Conn) net.Conn
 }
 
 // MeshTransport is the TCP mesh of one engine, implementing
@@ -322,6 +327,9 @@ func NewMeshTransport(plan *exec.RankPlan, topo Topology) (*MeshTransport, error
 				if err := writeHandshake(conn, topo.Config, from, to); err != nil {
 					conn.Close()
 					return fmt.Errorf("tcp: handshake to rank %d: %w", to, err)
+				}
+				if topo.Wrap != nil {
+					conn = topo.Wrap(conn)
 				}
 				if !tr.register(conn) {
 					return fmt.Errorf("tcp: mesh torn down during establishment")

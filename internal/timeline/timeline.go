@@ -38,10 +38,12 @@ type Row struct {
 
 	// Outcome counts, bucketed by completion instant. Completed is
 	// success; Failed is a job-level error; Cancelled covers abandoned
-	// jobs.
+	// jobs; GaveUp counts rejected jobs whose resubmission budget ran
+	// out — load the fleet permanently shed.
 	Completed int `json:"completed"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	GaveUp    int `json:"gave_up"`
 
 	// Latency percentiles over the jobs completing (successfully or
 	// not) in the interval, in simulated milliseconds from submission
@@ -70,6 +72,7 @@ type Totals struct {
 	Completed int `json:"completed"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	GaveUp    int `json:"gave_up"`
 
 	P50Millis float64 `json:"latency_p50_ms"`
 	P95Millis float64 `json:"latency_p95_ms"`
@@ -199,6 +202,14 @@ func (c *Collector) Cancelled(off time.Duration) {
 	c.at(off).row.Cancelled++
 }
 
+// GaveUp records a rejected job dropped after exhausting its
+// resubmission budget.
+func (c *Collector) GaveUp(off time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.at(off).row.GaveUp++
+}
+
 // Sample records one coordinator-stats snapshot: control-queue depth,
 // jobs running, live workers, and the scheduler slot count utilization
 // is measured against.
@@ -318,6 +329,7 @@ func (c *Collector) Finish() Timeline {
 		tl.Totals.Completed += row.Completed
 		tl.Totals.Failed += row.Failed
 		tl.Totals.Cancelled += row.Cancelled
+		tl.Totals.GaveUp += row.GaveUp
 	}
 	sort.Float64s(all)
 	tl.Totals.P50Millis = percentile(all, 50)
@@ -328,14 +340,14 @@ func (c *Collector) Finish() Timeline {
 
 // CSVHeader is the column row of the CSV form, matching WriteCSVRow's
 // order.
-const CSVHeader = "start_s,submitted,accepted,rejected,retried,completed,failed,cancelled,p50_ms,p95_ms,p99_ms,avg_queue,avg_running,avg_workers,utilization"
+const CSVHeader = "start_s,submitted,accepted,rejected,retried,completed,failed,cancelled,gave_up,p50_ms,p95_ms,p99_ms,avg_queue,avg_running,avg_workers,utilization"
 
 // WriteCSVRow writes one row in CSVHeader's column order. Times are
 // seconds of simulated offset; latencies simulated milliseconds.
 func WriteCSVRow(w io.Writer, r Row) error {
-	_, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.2f,%.2f,%.2f,%.4f\n",
+	_, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.2f,%.2f,%.2f,%.4f\n",
 		r.Start.Seconds(), r.Submitted, r.Accepted, r.Rejected, r.Retried,
-		r.Completed, r.Failed, r.Cancelled,
+		r.Completed, r.Failed, r.Cancelled, r.GaveUp,
 		r.P50Millis, r.P95Millis, r.P99Millis,
 		r.AvgQueue, r.AvgRunning, r.AvgWorkers, r.Utilization)
 	return err

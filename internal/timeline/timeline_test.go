@@ -38,6 +38,7 @@ func record(c *Collector) {
 	c.Completed(sec(4.6), sec(2.1))
 	c.Failed(sec(4.8), sec(0.5))
 	c.Cancelled(sec(5.1))
+	c.GaveUp(sec(5.3))
 	for i := 0; i < 10; i++ {
 		c.Sample(sec(float64(i)*0.55), i%3, 1+i%4, 2, 4)
 	}

@@ -84,6 +84,8 @@ var msgCodes = map[string]byte{
 	MsgDone:      15,
 	MsgStats:     16,
 	MsgStatsRply: 17,
+	MsgDrain:     18,
+	MsgDrained:   19,
 }
 
 var msgNames = func() map[byte]string {
@@ -283,13 +285,15 @@ func appendStats(b []byte, s StatsInfo) []byte {
 }
 
 // statsFields is the binary field schedule of StatsInfo, shared by the
-// encoder and decoder so the two cannot drift.
+// encoder and decoder so the two cannot drift. New fields append at
+// the end only, alongside a ProtoVersion bump.
 func statsFields(s *StatsInfo) []*int {
 	return []*int{
 		&s.Workers, &s.ConfigsBuilt, &s.ConfigsReused,
 		&s.JobsRun, &s.JobsFailed, &s.JobsInFlight, &s.JobsRunning,
 		&s.JobsRetried, &s.JobsRejected, &s.JobsCancelled,
 		&s.QueueLen, &s.QueueCap, &s.Concurrency, &s.MaxAttempts,
+		&s.ConfigsReprovisioned, &s.ConfigsEvicted, &s.WorkersDraining,
 	}
 }
 

@@ -49,7 +49,10 @@ func binaryTestMessages() []Message {
 			JobsRun: 42, JobsFailed: 1, JobsInFlight: 5, JobsRunning: 2,
 			JobsRetried: 1, JobsRejected: 7, JobsCancelled: 1,
 			QueueLen: 3, QueueCap: 64, Concurrency: 4, MaxAttempts: 3,
+			ConfigsReprovisioned: 2, ConfigsEvicted: 1, WorkersDraining: 1,
 		}},
+		{Type: MsgDrain, Worker: 3, Name: "node1"},
+		{Type: MsgDrained, Worker: 3},
 	}
 }
 

@@ -88,7 +88,10 @@ func TestGoldenMessages(t *testing.T) {
 		{Type: MsgStatsRply, Job: 21, Stats: &StatsInfo{
 			Workers: 3, JobsRun: 42, JobsRejected: 7,
 			QueueLen: 3, QueueCap: 64, Concurrency: 4, MaxAttempts: 3,
+			ConfigsReprovisioned: 2, ConfigsEvicted: 1, WorkersDraining: 1,
 		}},
+		{Type: MsgDrain, Worker: 3, Name: "node1"},
+		{Type: MsgDrained, Worker: 3},
 	}
 	var out bytes.Buffer
 	for _, m := range msgs {

@@ -31,7 +31,15 @@ import (
 //	   its existing control connection (the load generator's
 //	   utilization feed). A v3 coordinator would drop a client on the
 //	   unknown message, so the bump makes the mismatch loud.
-const ProtoVersion = 4
+//	5  drain/drained graceful-departure exchange: a worker announces
+//	   it is leaving, the coordinator stops placing on it, unwinds its
+//	   configs, and answers drained when the worker may exit. A v4
+//	   coordinator would drop a draining worker on the unknown message
+//	   — indistinguishable from a crash — so the bump makes the
+//	   mismatch loud. StatsInfo also gains elasticity counters
+//	   (reprovisioned/evicted configs, draining workers), appended to
+//	   the binary field schedule per the statsFields contract.
+const ProtoVersion = 5
 
 // Message types of the cluster control protocol. One flat Message
 // envelope carries every type; unused fields stay at their zero value
@@ -45,6 +53,13 @@ const ProtoVersion = 4
 //	← connect, ready →               wire the rank mesh across workers
 //	← run, result →                  one job on a prepared config
 //	← release                        drop a config (session teardown)
+//	drain →, ← drained               graceful departure: the worker
+//	                                 announces it is leaving; the
+//	                                 coordinator stops placing on it,
+//	                                 unwinds its configs, and answers
+//	                                 drained when the worker may exit
+//	                                 (distinct from the heartbeat-driven
+//	                                 death path, which needs no consent)
 //
 // Client ↔ coordinator:
 //
@@ -78,6 +93,8 @@ const (
 	MsgDone      = "done"
 	MsgStats     = "stats"
 	MsgStatsRply = "statsreply"
+	MsgDrain     = "drain"
+	MsgDrained   = "drained"
 )
 
 // StatsInfo is the coordinator snapshot carried by a statsreply: the
@@ -114,6 +131,14 @@ type StatsInfo struct {
 	Concurrency int `json:"concurrency,omitempty"`
 	// MaxAttempts is the per-job run budget (1 = retry disabled).
 	MaxAttempts int `json:"max_attempts,omitempty"`
+	// ConfigsReprovisioned counts configs torn down and rebuilt because
+	// the fleet changed under them (join growth, drain shrink);
+	// ConfigsEvicted counts cold configs dropped by the LRU cap.
+	ConfigsReprovisioned int `json:"configs_reprovisioned,omitempty"`
+	ConfigsEvicted       int `json:"configs_evicted,omitempty"`
+	// WorkersDraining is a gauge: fleet members mid-drain (excluded
+	// from placement, not yet released).
+	WorkersDraining int `json:"workers_draining,omitempty"`
 }
 
 // KernelSpec is the JSON form of one graph's kernel configuration —

@@ -21,6 +21,13 @@
 // per-shape configuration cache and run locks the way a real mixed
 // workload would.
 //
+// With -http the fleet-gauge poller reads the coordinator's
+// /snapshots.json observability endpoint instead of the control
+// protocol (keeping the control connection free for submissions),
+// falling back to control-protocol stats if the endpoint fails.
+// -report renders a post-run summary with the full client-side latency
+// histogram as a console table or a schema-stable JSON report.
+//
 // -chaos injects a deterministic fault schedule (see internal/chaos)
 // into the client's submission path: delays stall submissions, and
 // drop/reset rules at the pre-submit point burn a resubmission attempt
@@ -31,11 +38,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -47,7 +56,9 @@ import (
 
 	"taskbench/internal/chaos"
 	"taskbench/internal/cluster"
+	"taskbench/internal/metrics"
 	"taskbench/internal/pattern"
+	"taskbench/internal/report"
 	"taskbench/internal/timeline"
 	"taskbench/internal/wire"
 )
@@ -63,6 +74,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	coordinator := fs.String("coordinator", "", "coordinator control address (required)")
+	httpAddr := fs.String("http", "", "coordinator observability address (taskbenchd -http); the stats poller reads /snapshots.json from it instead of the control protocol")
 	preset := fs.String("preset", "burst", "load shape: "+strings.Join(pattern.PresetNames(), ", "))
 	duration := fs.Duration("duration", 2*time.Minute, "simulated length of the run")
 	timeScale := fs.Float64("time-scale", 1, "compression factor: simulated seconds per real second")
@@ -80,10 +92,25 @@ func run(args []string) error {
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed of the chaos fault schedule")
 	csvPath := fs.String("timeline-csv", "", "stream timeline rows as CSV to this file")
 	jsonPath := fs.String("timeline-json", "-", "write the timeline JSON document here (- for stdout)")
+	reportMode := fs.String("report", "none", "post-run rendering: console (summary + latency histogram), json (machine-readable report), none")
 	fs.Parse(args)
 
 	if *coordinator == "" {
 		return fmt.Errorf("-coordinator is required")
+	}
+	if *reportMode != "console" && *reportMode != "json" && *reportMode != "none" {
+		return fmt.Errorf("-report must be console, json or none, got %q", *reportMode)
+	}
+	// In json report mode the report document owns stdout; an untouched
+	// -timeline-json default would interleave two JSON documents there,
+	// so it yields unless the user asked for it explicitly.
+	if *reportMode == "json" && *jsonPath == "-" {
+		explicit := false
+		fs.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "timeline-json" })
+		if explicit {
+			return fmt.Errorf("-report json and -timeline-json - both claim stdout; write the timeline to a file")
+		}
+		*jsonPath = ""
 	}
 	specs, err := parseShapes(*shapes, *task)
 	if err != nil {
@@ -161,11 +188,15 @@ func run(args []string) error {
 	// timeline and advances the streaming window as simulated time
 	// passes. Each query carries a deadline so a stalled coordinator
 	// (or a chaos-delayed control path) costs one skipped sample, not a
-	// wedged poller.
+	// wedged poller. With -http the poller prefers the observability
+	// endpoint's snapshot ring — keeping the control connection free for
+	// submissions — and falls back to control-protocol stats if the
+	// endpoint ever fails.
 	statsTimeout := 10 * *poll
 	if statsTimeout < time.Second {
 		statsTimeout = time.Second
 	}
+	snapPoll := newSnapshotPoller(*httpAddr)
 	var pollWG sync.WaitGroup
 	pollWG.Add(1)
 	go func() {
@@ -179,7 +210,7 @@ func run(args []string) error {
 			case <-tick.C:
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), statsTimeout)
-			s, err := cli.StatsContext(ctx)
+			queueLen, running, workers, slots, err := snapPoll.sample(ctx, cli)
 			cancel()
 			if errors.Is(err, context.DeadlineExceeded) {
 				continue
@@ -189,10 +220,16 @@ func run(args []string) error {
 				return
 			}
 			now := clock.Sim(time.Now())
-			col.Sample(now, s.QueueLen, s.JobsRunning, s.Workers, s.Concurrency)
+			col.Sample(now, queueLen, running, workers, slots)
 			col.Advance(now)
 		}
 	}()
+
+	// Per-job completion latencies feed a client-side histogram (in
+	// simulated seconds) so the post-run report carries the full
+	// distribution, not just the timeline's three percentiles.
+	latHist := metrics.NewRegistry().Histogram("job_latency_seconds",
+		"Simulated submit-to-completion latency per job.", metrics.LatencyBuckets)
 
 	// The submission loop schedules each arrival at its compressed wall
 	// instant and hands the job to a goroutine that sees it through
@@ -224,7 +261,7 @@ submitting:
 		jobWG.Add(1)
 		go func() {
 			defer jobWG.Done()
-			if !oneJob(cli, spec, clock, col, inj, *retries, *backoff) {
+			if !oneJob(cli, spec, clock, col, latHist, inj, *retries, *backoff) {
 				if !protoErr.Load() {
 					atomic.AddInt64(&gaveUp, 1)
 				}
@@ -257,10 +294,89 @@ submitting:
 		atomic.LoadInt64(&submitted), t.Submitted, t.Accepted, t.Rejected, t.Retried,
 		t.Completed, t.Failed, atomic.LoadInt64(&gaveUp),
 		t.P50Millis, t.P95Millis, t.P99Millis)
+	if *reportMode != "none" {
+		lat := latHist.Snapshot()
+		rep := report.FromTimeline(fmt.Sprintf("loadgen %s against %s", pat.Name, *coordinator), tl, &lat)
+		var rerr error
+		if *reportMode == "json" {
+			rerr = rep.WriteJSON(os.Stdout)
+		} else {
+			rerr = rep.WriteConsole(os.Stdout)
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
 	if protoErr.Load() {
 		return fmt.Errorf("coordinator connection lost mid-run")
 	}
 	return nil
+}
+
+// snapshotPoller reads fleet gauges from the coordinator's
+// /snapshots.json observability endpoint when one was given, falling
+// back to control-protocol stats permanently (with a single log line)
+// the first time the endpoint fails.
+type snapshotPoller struct {
+	url  string
+	http http.Client
+}
+
+func newSnapshotPoller(addr string) *snapshotPoller {
+	p := &snapshotPoller{}
+	if addr != "" {
+		p.url = "http://" + addr + "/snapshots.json"
+	}
+	return p
+}
+
+// sample returns (queueLen, jobsRunning, workers, schedulerSlots) from
+// whichever source is active.
+func (p *snapshotPoller) sample(ctx context.Context, cli *cluster.Client) (int, int, int, int, error) {
+	if p.url != "" {
+		q, r, w, s, err := p.fetch(ctx)
+		if err == nil {
+			return q, r, w, s, nil
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("snapshot endpoint %s: %v; falling back to control-protocol stats", p.url, err)
+			p.url = ""
+		} else {
+			return 0, 0, 0, 0, context.DeadlineExceeded
+		}
+	}
+	s, err := cli.StatsContext(ctx)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return s.QueueLen, s.JobsRunning, s.Workers, s.Concurrency, nil
+}
+
+func (p *snapshotPoller) fetch(ctx context.Context) (int, int, int, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url, nil)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	resp, err := p.http.Do(req)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, 0, fmt.Errorf("status %s", resp.Status)
+	}
+	var reply struct {
+		Snapshots []metrics.Snapshot `json:"snapshots"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if len(reply.Snapshots) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("empty snapshot ring")
+	}
+	g := reply.Snapshots[len(reply.Snapshots)-1].Gauges
+	return int(g[cluster.MetricQueueDepth]), int(g[cluster.MetricJobsRunning]),
+		int(g[cluster.MetricWorkersLive]), int(g[cluster.MetricSchedulerSlots]), nil
 }
 
 // oneJob submits the spec and follows it to an outcome, resubmitting
@@ -269,7 +385,7 @@ submitting:
 // reached a terminal verdict (completed or failed); false means it
 // gave up after exhausting its resubmission budget or the connection
 // died.
-func oneJob(cli *cluster.Client, spec wire.AppSpec, clock pattern.Clock, col *timeline.Collector, inj *chaos.Injector, retries int, backoff time.Duration) bool {
+func oneJob(cli *cluster.Client, spec wire.AppSpec, clock pattern.Clock, col *timeline.Collector, lat *metrics.Histogram, inj *chaos.Injector, retries int, backoff time.Duration) bool {
 	for attempt := 0; ; attempt++ {
 		submitSim := clock.Sim(time.Now())
 		act := inj.Point("pre-submit")
@@ -314,6 +430,7 @@ func oneJob(cli *cluster.Client, spec wire.AppSpec, clock pattern.Clock, col *ti
 		// Admission is synchronous on the coordinator, so the verdict
 		// belongs to the submission instant.
 		col.Accepted(submitSim)
+		lat.ObserveDuration(now - submitSim)
 		if res.Err != nil {
 			col.Failed(now, now-submitSim)
 		} else {

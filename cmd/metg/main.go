@@ -23,6 +23,7 @@ import (
 	"taskbench/internal/core"
 	"taskbench/internal/kernels"
 	"taskbench/internal/metg"
+	"taskbench/internal/report"
 	"taskbench/internal/runtime"
 	_ "taskbench/internal/runtime/all"
 	"taskbench/internal/sim"
@@ -48,10 +49,15 @@ func run() (code int) {
 		threshold  = flag.Float64("threshold", 0.5, "efficiency threshold")
 		maxIters   = flag.Int64("maxiters", 0, "top of the problem-size sweep (0 = auto)")
 		density    = flag.Int("density", 2, "sweep points per doubling")
+		reportMode = flag.String("report", "console", "sweep rendering: console (aligned table), json (machine-readable report), none (METG line only)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile after the sweep")
 	)
 	flag.Parse()
+	if *reportMode != "console" && *reportMode != "json" && *reportMode != "none" {
+		fmt.Fprintf(os.Stderr, "metg: -report must be console, json or none, got %q\n", *reportMode)
+		return 2
+	}
 
 	modes := 0
 	for _, set := range []bool{*backend != "", *clusterAt != "", *profile != ""} {
@@ -208,20 +214,43 @@ func run() (code int) {
 	}
 
 	value, points, kind := metg.Search(runner, top, peak, 0, *threshold, *density)
-	fmt.Printf("%-12s %-14s %-10s\n", "iterations", "granularity", "efficiency")
-	for _, pt := range points {
-		fmt.Printf("%-12d %-14v %-10.3f\n", pt.Iterations, pt.Granularity.Round(time.Nanosecond), pt.Efficiency)
+	title := "metg sweep"
+	switch {
+	case *backend != "":
+		title += " (backend " + *backend + ")"
+	case *clusterAt != "":
+		title += " (cluster " + *clusterAt + ")"
+	default:
+		title += " (profile " + *profile + ")"
+	}
+	rep := report.FromMETG(title, points, value, kind, *threshold)
+	switch *reportMode {
+	case "json":
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return fatal(err)
+		}
+	case "console":
+		if err := rep.WriteConsole(os.Stdout); err != nil {
+			return fatal(err)
+		}
+	}
+	// The METG line is the headline contract scripts grep for; it
+	// prints in every mode, after whichever rendering was chosen — to
+	// stderr in json mode, so stdout stays one parseable document.
+	headline := os.Stdout
+	if *reportMode == "json" {
+		headline = os.Stderr
 	}
 	switch kind {
 	case metg.Measured:
-		fmt.Printf("METG(%.0f%%) = %v\n", *threshold*100, value.Round(time.Nanosecond))
+		fmt.Fprintf(headline, "METG(%.0f%%) = %v\n", *threshold*100, value.Round(time.Nanosecond))
 	case metg.UpperBound:
 		// Every measured point stayed above the threshold, so the
 		// smallest observed granularity only bounds METG from above.
-		fmt.Printf("METG(%.0f%%) ≤ %v (upper bound: curve never dropped below threshold)\n",
+		fmt.Fprintf(headline, "METG(%.0f%%) ≤ %v (upper bound: curve never dropped below threshold)\n",
 			*threshold*100, value.Round(time.Nanosecond))
 	default:
-		fmt.Printf("METG(%.0f%%): never reached\n", *threshold*100)
+		fmt.Fprintf(headline, "METG(%.0f%%): never reached\n", *threshold*100)
 		return 1
 	}
 	return 0

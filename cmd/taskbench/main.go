@@ -19,6 +19,7 @@ import (
 
 	"taskbench/internal/core"
 	"taskbench/internal/kernels"
+	"taskbench/internal/report"
 	"taskbench/internal/runtime"
 	_ "taskbench/internal/runtime/all"
 	"taskbench/internal/wire"
@@ -37,9 +38,19 @@ func run(args []string) error {
 	specPath := ""
 	cpuProfile := ""
 	memProfile := ""
+	reportMode := "console"
 	var rest []string
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
+		case "-report":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-report requires console, json or none")
+			}
+			reportMode = args[i+1]
+			if reportMode != "console" && reportMode != "json" && reportMode != "none" {
+				return fmt.Errorf("-report must be console, json or none, got %q", reportMode)
+			}
+			i++
 		case "-cpuprofile":
 			if i+1 >= len(args) {
 				return fmt.Errorf("-cpuprofile requires a file path")
@@ -129,6 +140,8 @@ func run(args []string) error {
 	}
 
 	var best core.RunStats
+	var all []core.RunStats
+	var names []string
 	for r := 0; r < runs; r++ {
 		stats, err := rt.Run(app)
 		if err != nil {
@@ -137,11 +150,32 @@ func run(args []string) error {
 		if r == 0 || stats.Elapsed < best.Elapsed {
 			best = stats
 		}
+		all = append(all, stats)
+		names = append(names, fmt.Sprintf("%s[%d]", backend, r))
 		if app.Verbose {
-			stats.WriteReport(os.Stdout, fmt.Sprintf("%s[%d]", backend, r))
+			stats.WriteReport(os.Stdout, names[r])
 		}
 	}
-	best.WriteReport(os.Stdout, backend)
+	// The one-line summary is the classic contract; -report adds the
+	// structured rendering (per-run table, machine-readable JSON).
+	switch reportMode {
+	case "json":
+		rep := report.FromRuns(fmt.Sprintf("taskbench %s", backend), names, all)
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		best.WriteReport(os.Stderr, backend)
+	case "console":
+		if runs > 1 {
+			rep := report.FromRuns(fmt.Sprintf("taskbench %s (%d runs, best reported)", backend, runs), names, all)
+			if err := rep.WriteConsole(os.Stdout); err != nil {
+				return err
+			}
+		}
+		best.WriteReport(os.Stdout, backend)
+	case "none":
+		best.WriteReport(os.Stdout, backend)
+	}
 	return writeMemProfile(memProfile)
 }
 
@@ -170,6 +204,8 @@ Driver options:
   -backend NAME     runtime backend (default p2p)
   -runs N           repetitions; the best run is reported (default 1)
   -spec FILE        load the configuration from a JSON spec instead of flags
+  -report MODE      console (per-run table when -runs > 1), json (machine-
+                    readable report on stdout), none (one-line summary only)
   -cpuprofile FILE  write a pprof CPU profile of the runs
   -memprofile FILE  write a pprof heap profile after the runs
 

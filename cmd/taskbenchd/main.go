@@ -69,6 +69,7 @@ func usage() {
   taskbenchd coordinator [-listen addr] [-heartbeat d] [-timeout d] [-job-timeout d]
                          [-concurrency n] [-retries n] [-queue n] [-max-configs n]
                          [-drain-timeout d] [-proto json|binary] [-chaos scenario]
+                         [-http addr] [-snapshot-interval d] [-snapshot-retention n]
   taskbenchd worker -coordinator addr [-name s] [-advertise host] [-proto json|binary]
                     [-drain-on SIGTERM] [-chaos scenario] [-chaos-seed n]`)
 }
@@ -85,6 +86,9 @@ func runCoordinator(args []string) error {
 	maxConfigs := fs.Int("max-configs", 32, "prepared shape configurations kept live; cold ones are evicted LRU")
 	drainTimeout := fs.Duration("drain-timeout", 0, "grace for a draining worker's in-flight runs before it is declared dead (default -job-timeout)")
 	proto := fs.String("proto", "binary", "control frame format to negotiate: binary or json (json pins every conversation to the debug format)")
+	httpAddr := fs.String("http", "", "serve observability endpoints (/metrics /healthz /snapshots.json) on this address; empty disables")
+	snapInterval := fs.Duration("snapshot-interval", time.Second, "metrics snapshot sampling interval (with -http)")
+	snapRetention := fs.Int("snapshot-retention", 300, "snapshots retained in the /snapshots.json ring (with -http)")
 	chaosFlag := fs.String("chaos", "", "chaos scenario for worker control conversations: a preset ("+strings.Join(chaos.PresetNames(), ", ")+") or a rule script")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed of the chaos fault schedule")
 	fs.Parse(args)
@@ -113,6 +117,10 @@ func runCoordinator(args []string) error {
 		Proto:        *proto,
 		Chaos:        inj,
 		Logf:         log.Printf,
+
+		HTTPAddr:          *httpAddr,
+		SnapshotInterval:  *snapInterval,
+		SnapshotRetention: *snapRetention,
 	})
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"taskbench/internal/chaos"
+	"taskbench/internal/metrics"
 	"taskbench/internal/runtime/exec"
 	"taskbench/internal/wire"
 )
@@ -63,6 +64,18 @@ type Options struct {
 	// running attempts retried) instead of holding its departure
 	// hostage. Default JobTimeout.
 	DrainTimeout time.Duration
+	// HTTPAddr, when non-empty, serves the observability endpoints —
+	// /metrics (Prometheus text exposition), /healthz, /snapshots.json —
+	// on that address. Empty disables the HTTP server entirely.
+	HTTPAddr string
+	// SnapshotInterval is how often the metrics collector samples the
+	// registry into the retained ring; default 1s. Only meaningful with
+	// HTTPAddr set.
+	SnapshotInterval time.Duration
+	// SnapshotRetention is how many periodic snapshots the ring keeps
+	// (oldest evicted first); default 300 — five minutes of history at
+	// the default interval.
+	SnapshotRetention int
 	// Chaos, when set, injects scripted faults into the control frames
 	// this coordinator writes (forked per accepted connection). Tests
 	// and the chaos harness only; nil injects nothing.
@@ -104,6 +117,12 @@ func (o *Options) fill() {
 	}
 	if o.Proto == "" {
 		o.Proto = wire.ProtoBinary
+	}
+	if o.SnapshotInterval <= 0 {
+		o.SnapshotInterval = time.Second
+	}
+	if o.SnapshotRetention <= 0 {
+		o.SnapshotRetention = 300
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -149,6 +168,16 @@ type Stats struct {
 	// WorkersDraining is a gauge: fleet members mid-drain, excluded
 	// from new placement but not yet released.
 	WorkersDraining int
+	// ConfigCacheHits counts jobs that found a usable prepared
+	// configuration for their shape. Unlike ConfigsReused (which it
+	// currently equals), it is defined by cache outcome at lookup time,
+	// and it has a per-shape split in the metrics registry.
+	ConfigCacheHits int
+	// ConfigCacheMisses counts jobs that had to provision: a first job
+	// of a shape, or a re-provision after the prepared configuration
+	// went stale or was lost. Counted at lookup, whether or not the
+	// build then succeeds.
+	ConfigCacheMisses int
 }
 
 // Coordinator accepts worker registrations and client job submissions
@@ -175,6 +204,12 @@ type Coordinator struct {
 	done  chan struct{}
 	stop  sync.Once
 	wg    sync.WaitGroup
+
+	// metrics is the scrape-side instrumentation; always non-nil. The
+	// HTTP server and collector only exist when Options.HTTPAddr is set.
+	metrics   *coordMetrics
+	collector *metrics.Collector
+	http      *httpServer
 }
 
 // workerConn is the coordinator's view of one registered worker.
@@ -252,6 +287,9 @@ type job struct {
 	key     string
 	attempt int
 	client  *clientConn
+	// enqueued stamps admission, the epoch for the queue-wait and
+	// end-to-end latency histograms.
+	enqueued time.Time
 
 	// cancel fires when the job should stop occupying the fleet: the
 	// client disconnected, sent an explicit cancel, or the accepted ack
@@ -306,6 +344,16 @@ func Start(opts Options) (*Coordinator, error) {
 		queue:        make(chan *job, opts.QueueDepth),
 		done:         make(chan struct{}),
 	}
+	c.metrics = newCoordMetrics(c)
+	if opts.HTTPAddr != "" {
+		srv, err := startHTTPServer(c, opts.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		c.http = srv
+		c.collector = metrics.StartCollector(c.metrics.reg, opts.SnapshotInterval, opts.SnapshotRetention)
+	}
 	c.wg.Add(2 + opts.Concurrency)
 	go c.acceptLoop()
 	go c.monitorHeartbeats()
@@ -346,6 +394,17 @@ func (c *Coordinator) drainingLocked() int {
 // counters plus the queue and scheduler dimensions a remote client
 // needs to turn JobsRunning into a utilization fraction.
 func (c *Coordinator) statsInfo() *wire.StatsInfo {
+	// Histogram reads are atomic and the heartbeat scan takes c.mu
+	// itself, so both happen before the stats lock below.
+	lat := c.metrics.jobLatency.Snapshot()
+	var p50, p95, p99 int64
+	if lat.Count > 0 {
+		p50 = int64(lat.Quantile(0.50) * float64(time.Second))
+		p95 = int64(lat.Quantile(0.95) * float64(time.Second))
+		p99 = int64(lat.Quantile(0.99) * float64(time.Second))
+	}
+	hbAge := c.maxHeartbeatAgeNanos(time.Now())
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return &wire.StatsInfo{
@@ -367,6 +426,13 @@ func (c *Coordinator) statsInfo() *wire.StatsInfo {
 		ConfigsReprovisioned: c.stats.ConfigsReprovisioned,
 		ConfigsEvicted:       c.stats.ConfigsEvicted,
 		WorkersDraining:      c.drainingLocked(),
+
+		ConfigCacheHits:      c.stats.ConfigCacheHits,
+		ConfigCacheMisses:    c.stats.ConfigCacheMisses,
+		MaxHeartbeatAgeNanos: int(hbAge),
+		LatencyP50Nanos:      int(p50),
+		LatencyP95Nanos:      int(p95),
+		LatencyP99Nanos:      int(p99),
 	}
 }
 
@@ -425,6 +491,12 @@ func (c *Coordinator) Close() {
 	c.stop.Do(func() {
 		close(c.done)
 		c.ln.Close()
+		if c.collector != nil {
+			c.collector.Stop()
+		}
+		if c.http != nil {
+			c.http.close()
+		}
 		c.mu.Lock()
 		for mc := range c.conns {
 			mc.close()
@@ -727,6 +799,7 @@ func (c *Coordinator) drainWorker(w *workerConn) {
 			e.cfg = nil
 			delete(c.configs, key)
 			c.stats.ConfigsReprovisioned++
+			c.metrics.configsReprovisioned.Inc()
 			idle = append(idle, cfg)
 		}
 		for cfg := range c.building {
@@ -928,6 +1001,7 @@ func (c *Coordinator) admit(cl *clientConn, m wire.Message) bool {
 		c.mu.Lock()
 		c.stats.JobsRejected++
 		c.mu.Unlock()
+		c.metrics.jobsRejected.Inc()
 		return cl.mc.write(wire.Message{Type: wire.MsgRejected, Job: id, Err: fmt.Sprintf(format, args...), Proto: cl.proto}) == nil
 	}
 	c.mu.Lock()
@@ -942,12 +1016,13 @@ func (c *Coordinator) admit(cl *clientConn, m wire.Message) bool {
 		return reject(id, "invalid spec: %v", err)
 	}
 	j := &job{
-		id:     id,
-		spec:   *m.Spec,
-		key:    wire.ShapeKey(*m.Spec),
-		client: cl,
-		cancel: make(chan struct{}),
-		acked:  make(chan struct{}),
+		id:       id,
+		spec:     *m.Spec,
+		key:      wire.ShapeKey(*m.Spec),
+		client:   cl,
+		enqueued: time.Now(),
+		cancel:   make(chan struct{}),
+		acked:    make(chan struct{}),
 	}
 	cl.mu.Lock()
 	cl.jobs[id] = j
@@ -1031,10 +1106,12 @@ func (c *Coordinator) runQueued(j *job) {
 		c.mu.Lock()
 		c.stats.JobsCancelled++
 		c.mu.Unlock()
+		c.metrics.jobsCancelled.Inc()
 		c.deliver(j, wire.Message{Type: wire.MsgDone, Job: j.id, Err: "cancelled: " + j.cancelReason})
 		return
 	default:
 	}
+	c.metrics.queueWait.ObserveDuration(time.Since(j.enqueued))
 	c.mu.Lock()
 	c.inFlight++
 	c.mu.Unlock()
@@ -1050,6 +1127,15 @@ func (c *Coordinator) runQueued(j *job) {
 		}
 	}
 	c.mu.Unlock()
+	if verdict == runCancelled {
+		c.metrics.jobsCancelled.Inc()
+	} else {
+		c.metrics.jobsCompleted.Inc()
+		if done.Err != "" {
+			c.metrics.jobsFailed.Inc()
+		}
+		c.metrics.jobLatency.ObserveDuration(time.Since(j.enqueued))
+	}
 	c.deliver(j, done)
 }
 
@@ -1060,12 +1146,18 @@ func (c *Coordinator) runJobWithRetry(j *job) (wire.Message, runVerdict) {
 	for {
 		done, verdict, failed := c.runJob(j)
 		if verdict != runRetryable || j.attempt+1 >= c.opts.MaxAttempts {
+			if verdict == runRetryable {
+				// Retryable failure with no attempts left: the job gave
+				// up — the class the fleet-sizing dashboards watch.
+				c.metrics.jobsGaveUp.Inc()
+			}
 			return done, verdict
 		}
 		j.attempt++
 		c.mu.Lock()
 		c.stats.JobsRetried++
 		c.mu.Unlock()
+		c.metrics.jobsRetried.Inc()
 		c.opts.Logf("cluster: job %d re-queued (attempt %d/%d): %v", j.id, j.attempt+1, c.opts.MaxAttempts, done.Err)
 		c.waitMemberGone(failed, j)
 	}
@@ -1174,10 +1266,18 @@ func (c *Coordinator) runJob(j *job) (wire.Message, runVerdict, *clusterConfig) 
 		c.mu.Lock()
 		c.stats.ConfigsReprovisioned++
 		c.mu.Unlock()
+		c.metrics.configsReprovisioned.Inc()
 		c.dropConfig(e, cfg)
 		cfg = nil
 	}
 	if cfg == nil {
+		// Cache miss, counted at lookup whether or not the build then
+		// succeeds. CounterVec.With takes the vec's own lock, so it must
+		// run outside c.mu.
+		c.metrics.cacheMisses.With(shapeLabel(j.spec)).Inc()
+		c.mu.Lock()
+		c.stats.ConfigCacheMisses++
+		c.mu.Unlock()
 		var err error
 		cfg, err = c.buildConfig(j.key, j.spec, j.cancel)
 		if err != nil {
@@ -1197,12 +1297,15 @@ func (c *Coordinator) runJob(j *job) (wire.Message, runVerdict, *clusterConfig) 
 		c.stats.ConfigsBuilt++
 		evicted = c.evictColdLocked(e)
 		c.mu.Unlock()
+		c.metrics.configsBuilt.Inc()
 		for _, victim := range evicted {
 			c.releaseConfig(victim, nil)
 		}
 	} else {
+		c.metrics.cacheHits.With(shapeLabel(j.spec)).Inc()
 		c.mu.Lock()
 		c.stats.ConfigsReused++
+		c.stats.ConfigCacheHits++
 		c.mu.Unlock()
 	}
 
@@ -1408,6 +1511,7 @@ func (c *Coordinator) evictColdLocked(keep *configEntry) []*clusterConfig {
 		oldest.cfg = nil
 		delete(c.configs, oldest.key)
 		c.stats.ConfigsEvicted++
+		c.metrics.configsEvicted.Inc()
 	}
 }
 

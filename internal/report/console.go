@@ -1,0 +1,101 @@
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteConsole renders the report for a terminal: title, params,
+// aligned tables, headline metrics, and latency percentiles. An empty
+// histogram renders its percentiles as "-" — a run that completed
+// nothing has no latency, and printing 0 would claim one.
+func (r *Report) WriteConsole(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, r.Title)
+	for _, p := range r.Params {
+		fmt.Fprintf(bw, "  %-12s %s\n", p.Name, p.Value)
+	}
+	for _, t := range r.Tables {
+		if t.Title != "" {
+			fmt.Fprintf(bw, "\n%s\n", t.Title)
+		}
+		writeTable(bw, t)
+	}
+	if len(r.Summary) > 0 {
+		fmt.Fprintln(bw)
+		for _, m := range r.Summary {
+			fmt.Fprintf(bw, "  %-14s %s\n", m.Name, formatMetric(m))
+		}
+	}
+	for _, h := range r.Histograms {
+		fmt.Fprintf(bw, "\n%s (%s): count %d  p50 %s  p95 %s  p99 %s\n",
+			h.Name, h.Unit, h.Count,
+			formatQuantile(h, h.P50), formatQuantile(h, h.P95), formatQuantile(h, h.P99))
+	}
+	return bw.Flush()
+}
+
+func writeTable(bw *bufio.Writer, t Table) {
+	widths := make([]int, len(t.Columns))
+	for i, col := range t.Columns {
+		widths[i] = len(col)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		bw.WriteString("  ")
+		for i, cell := range cells {
+			if i > 0 {
+				bw.WriteString("  ")
+			}
+			fmt.Fprintf(bw, "%-*s", widths[i], cell)
+		}
+		bw.WriteString("\n")
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// formatMetric renders a metric value with its unit and note. Seconds
+// render as a duration; counts render as integers.
+func formatMetric(m Metric) string {
+	var s string
+	switch {
+	case m.Value == 0 && m.Note != "" && m.Unit == "s":
+		// A qualified zero duration ("not reached") has no value to
+		// print — the note carries the whole story.
+		s = "-"
+	case m.Unit == "s":
+		s = time.Duration(m.Value * float64(time.Second)).Round(time.Nanosecond).String()
+	case m.Value == float64(int64(m.Value)):
+		s = strconv.FormatInt(int64(m.Value), 10)
+	default:
+		s = strconv.FormatFloat(m.Value, 'g', 6, 64)
+	}
+	if m.Note != "" {
+		s += " (" + m.Note + ")"
+	}
+	return s
+}
+
+// formatQuantile renders one histogram percentile, "-" when empty.
+func formatQuantile(h Histogram, v float64) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	if h.Unit == "s" {
+		return time.Duration(v * float64(time.Second)).Round(time.Nanosecond).String()
+	}
+	return strings.TrimSpace(strconv.FormatFloat(v, 'g', 6, 64))
+}

@@ -1,0 +1,155 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"taskbench/internal/core"
+	"taskbench/internal/metg"
+	"taskbench/internal/metrics"
+	"taskbench/internal/timeline"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// compareGolden pins a renderer's output byte for byte, the same
+// pattern the wire package uses: `go test ./internal/report -update`
+// regenerates after an intentional change.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/report -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+func metgReport() *Report {
+	points := []metg.Point{
+		{Iterations: 4096, Granularity: 820 * time.Microsecond, Efficiency: 0.97,
+			Stats: core.RunStats{Elapsed: 84 * time.Millisecond, Tasks: 400, Workers: 4, Flops: 6.7e8}},
+		{Iterations: 1024, Granularity: 240 * time.Microsecond, Efficiency: 0.81,
+			Stats: core.RunStats{Elapsed: 24 * time.Millisecond, Tasks: 400, Workers: 4, Flops: 1.7e8}},
+		{Iterations: 256, Granularity: 95 * time.Microsecond, Efficiency: 0.44,
+			Stats: core.RunStats{Elapsed: 9500 * time.Microsecond, Tasks: 400, Workers: 4, Flops: 4.2e7}},
+	}
+	return FromMETG("metg sweep (stencil backend)", points, 112*time.Microsecond, metg.Measured, 0.5)
+}
+
+func loadgenReport(withHist bool) *Report {
+	tl := timeline.Timeline{
+		Pattern:   "burst",
+		TimeScale: 60,
+		Interval:  5 * time.Second,
+		Totals: timeline.Totals{
+			Submitted: 150, Accepted: 140, Rejected: 10, Retried: 6,
+			Completed: 138, Failed: 0, Cancelled: 2, GaveUp: 0,
+			P50Millis: 12, P95Millis: 80, P99Millis: 140,
+		},
+	}
+	var lat *metrics.HistogramData
+	if withHist {
+		reg := metrics.NewRegistry()
+		h := reg.Histogram("job_latency_seconds", "", []float64{0.01, 0.025, 0.05, 0.1, 0.25})
+		for _, v := range []float64{0.008, 0.012, 0.02, 0.04, 0.09, 0.4} {
+			h.Observe(v)
+		}
+		d := h.Snapshot()
+		lat = &d
+	}
+	return FromTimeline("loadgen burst against 127.0.0.1:7591", tl, lat)
+}
+
+func TestGoldenMETGReport(t *testing.T) {
+	r := metgReport()
+	var j, c bytes.Buffer
+	if err := r.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteConsole(&c); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "metg.json", j.Bytes())
+	compareGolden(t, "metg.console.txt", c.Bytes())
+}
+
+func TestGoldenLoadgenReport(t *testing.T) {
+	r := loadgenReport(true)
+	var j, c bytes.Buffer
+	if err := r.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteConsole(&c); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "loadgen.json", j.Bytes())
+	compareGolden(t, "loadgen.console.txt", c.Bytes())
+}
+
+func TestGoldenRunReport(t *testing.T) {
+	r := FromRuns("taskbench stencil 16x100",
+		[]string{"serial", "goroutine"},
+		[]core.RunStats{
+			{Elapsed: 120 * time.Millisecond, Tasks: 1600, Workers: 1, Flops: 2.6e9},
+			{Elapsed: 18 * time.Millisecond, Tasks: 1600, Workers: 8, Flops: 2.6e9},
+		})
+	var j, c bytes.Buffer
+	if err := r.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteConsole(&c); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "run.json", j.Bytes())
+	compareGolden(t, "run.console.txt", c.Bytes())
+}
+
+// TestEmptyHistogramRendersDash pins the satellite contract: a report
+// whose run completed nothing shows "-" percentiles, never a
+// fabricated 0.
+func TestEmptyHistogramRendersDash(t *testing.T) {
+	reg := metrics.NewRegistry()
+	d := reg.Histogram("job_latency_seconds", "", nil).Snapshot()
+	r := FromTimeline("empty run", timeline.Timeline{}, &d)
+	var c bytes.Buffer
+	if err := r.WriteConsole(&c); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	if !strings.Contains(out, "p50 -") || !strings.Contains(out, "p99 -") {
+		t.Fatalf("empty histogram did not render '-':\n%s", out)
+	}
+	if strings.Contains(out, "p50 0s") {
+		t.Fatalf("empty histogram rendered a zero percentile:\n%s", out)
+	}
+}
+
+// TestNotReachedMETG pins the qualified-zero rendering: a sweep that
+// never attains the threshold has no METG value to print.
+func TestNotReachedMETG(t *testing.T) {
+	r := FromMETG("metg sweep", nil, 0, metg.NotReached, 0.5)
+	var c bytes.Buffer
+	if err := r.WriteConsole(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.String(), "- (not reached)") {
+		t.Fatalf("NotReached rendering:\n%s", c.String())
+	}
+}

@@ -294,6 +294,8 @@ func statsFields(s *StatsInfo) []*int {
 		&s.JobsRetried, &s.JobsRejected, &s.JobsCancelled,
 		&s.QueueLen, &s.QueueCap, &s.Concurrency, &s.MaxAttempts,
 		&s.ConfigsReprovisioned, &s.ConfigsEvicted, &s.WorkersDraining,
+		&s.ConfigCacheHits, &s.ConfigCacheMisses, &s.MaxHeartbeatAgeNanos,
+		&s.LatencyP50Nanos, &s.LatencyP95Nanos, &s.LatencyP99Nanos,
 	}
 }
 

@@ -89,6 +89,9 @@ func TestGoldenMessages(t *testing.T) {
 			Workers: 3, JobsRun: 42, JobsRejected: 7,
 			QueueLen: 3, QueueCap: 64, Concurrency: 4, MaxAttempts: 3,
 			ConfigsReprovisioned: 2, ConfigsEvicted: 1, WorkersDraining: 1,
+			ConfigCacheHits: 40, ConfigCacheMisses: 2,
+			MaxHeartbeatAgeNanos: 250_000_000,
+			LatencyP50Nanos:      5_000_000, LatencyP95Nanos: 25_000_000, LatencyP99Nanos: 100_000_000,
 		}},
 		{Type: MsgDrain, Worker: 3, Name: "node1"},
 		{Type: MsgDrained, Worker: 3},

@@ -39,7 +39,14 @@ import (
 //	   mismatch loud. StatsInfo also gains elasticity counters
 //	   (reprovisioned/evicted configs, draining workers), appended to
 //	   the binary field schedule per the statsFields contract.
-const ProtoVersion = 5
+//	6  StatsInfo gains observability fields: first-class config cache
+//	   hit/miss counters (previously only inferrable from
+//	   reprovision/evict deltas), the stalest live worker's heartbeat
+//	   age, and nearest-rank job-latency percentiles from the
+//	   coordinator's histogram — all appended to the binary field
+//	   schedule per the statsFields contract, so a v5 peer decodes the
+//	   prefix it knows and ignores the rest.
+const ProtoVersion = 6
 
 // Message types of the cluster control protocol. One flat Message
 // envelope carries every type; unused fields stay at their zero value
@@ -139,6 +146,20 @@ type StatsInfo struct {
 	// WorkersDraining is a gauge: fleet members mid-drain (excluded
 	// from placement, not yet released).
 	WorkersDraining int `json:"workers_draining,omitempty"`
+	// ConfigCacheHits / ConfigCacheMisses are first-class cache-outcome
+	// counters: jobs that found a usable prepared configuration vs jobs
+	// that had to provision (first of a shape, or after stale/lost).
+	ConfigCacheHits   int `json:"config_cache_hits,omitempty"`
+	ConfigCacheMisses int `json:"config_cache_misses,omitempty"`
+	// MaxHeartbeatAgeNanos is a gauge: the age of the stalest live
+	// worker's last heartbeat — the fleet-liveness early warning.
+	MaxHeartbeatAgeNanos int `json:"max_heartbeat_age_ns,omitempty"`
+	// LatencyP50/P95/P99Nanos are nearest-rank percentiles of the
+	// admission→done job latency histogram, cumulative since
+	// coordinator start (0 until a job completes).
+	LatencyP50Nanos int `json:"latency_p50_ns,omitempty"`
+	LatencyP95Nanos int `json:"latency_p95_ns,omitempty"`
+	LatencyP99Nanos int `json:"latency_p99_ns,omitempty"`
 }
 
 // KernelSpec is the JSON form of one graph's kernel configuration —

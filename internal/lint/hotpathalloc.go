@@ -1,0 +1,395 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc enforces the zero-allocation hot path of DESIGN.md §8:
+// a function annotated //taskbench:hotpath — and every function it
+// statically calls inside the module — must not allocate in steady
+// state. Flagged constructs: append, make, new, map/slice/chan
+// composite literals, &T{} literals, closures, go statements, string
+// concatenation and string<->[]byte conversions, boxing a non-pointer
+// value into an interface, and any call into fmt, errors, log, reflect
+// or encoding/json.
+//
+// Two escape hatches keep the rule about steady state rather than
+// syntax. First, allocations inside an if body or switch case that ends
+// in return or panic are exempt: error paths run O(1) times, the budget
+// is per-task. Second, a //taskbench:allocok comment on (or directly
+// above) a line waives it — the idiom for appends into recycled
+// capacity, which amortize to zero.
+//
+// Dynamic calls (interface methods, func values) are opaque: the
+// analyzer assumes their implementations keep their own contracts.
+// Stdlib calls outside the denylist are assumed allocation-free on the
+// paths the hot code uses.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "hot-path functions (//taskbench:hotpath) and their static callees must not allocate",
+	Run:  runHotPathAlloc,
+}
+
+// allocDenylist names packages whose every call is treated as an
+// allocation (their APIs allocate by design or via reflection).
+var allocDenylist = map[string]bool{
+	"fmt":           true,
+	"errors":        true,
+	"log":           true,
+	"reflect":       true,
+	"encoding/json": true,
+}
+
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+type allocSummary struct {
+	fn      *types.Func
+	hot     bool
+	sites   []allocSite
+	callees []*types.Func
+}
+
+type hotpathState struct {
+	reported map[*types.Func]bool
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	st := pass.State(func() any {
+		return &hotpathState{reported: map[*types.Func]bool{}}
+	}).(*hotpathState)
+
+	local := map[*types.Func]*allocSummary{}
+	var roots []*allocSummary
+	for _, file := range pass.Files {
+		allocok := commentDirectives(pass.Fset, file, "taskbench:allocok")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sum := summarizeAllocs(pass, obj, fd, allocok)
+			local[obj] = sum
+			pass.ExportFact(obj, sum)
+			if sum.hot {
+				roots = append(roots, sum)
+			}
+		}
+	}
+
+	// Walk the static call graph from every annotated root. Imports are
+	// analyzed before importers, so callee summaries in other session
+	// packages already exist as facts.
+	lookup := func(fn *types.Func) *allocSummary {
+		if s, ok := local[fn]; ok {
+			return s
+		}
+		if v, ok := pass.ImportFact(fn); ok {
+			return v.(*allocSummary)
+		}
+		return nil
+	}
+	for _, root := range roots {
+		seen := map[*types.Func]bool{}
+		var visit func(sum *allocSummary)
+		visit = func(sum *allocSummary) {
+			if seen[sum.fn] {
+				return
+			}
+			seen[sum.fn] = true
+			if !st.reported[sum.fn] {
+				st.reported[sum.fn] = true
+				for _, site := range sum.sites {
+					if sum.fn == root.fn {
+						pass.Reportf(site.pos, "hot path allocates: %s", site.what)
+					} else {
+						pass.Reportf(site.pos, "hot path allocates: %s (in %s, reachable from //taskbench:hotpath %s)",
+							site.what, sum.fn.Name(), root.fn.Name())
+					}
+				}
+			}
+			for _, callee := range sum.callees {
+				if csum := lookup(callee); csum != nil {
+					visit(csum)
+				}
+			}
+		}
+		visit(root)
+	}
+	return nil
+}
+
+// summarizeAllocs records a function's direct allocation sites and its
+// static module-internal callees, skipping cold regions (terminating
+// branches) and //taskbench:allocok-waived lines.
+func summarizeAllocs(pass *Pass, obj *types.Func, fd *ast.FuncDecl, allocok map[int]bool) *allocSummary {
+	sum := &allocSummary{fn: obj, hot: hasDirective(fd.Doc, "//taskbench:hotpath")}
+	cold := coldRanges(fd.Body)
+	isCold := func(pos token.Pos) bool {
+		for _, r := range cold {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	record := func(pos token.Pos, what string) {
+		if isCold(pos) || allocok[pass.Fset.Position(pos).Line] {
+			return
+		}
+		sum.sites = append(sum.sites, allocSite{pos, what})
+	}
+
+	sig, _ := obj.Type().(*types.Signature)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			record(n.Pos(), "func literal (closure)")
+			return false // the closure body runs in its own context
+		case *ast.GoStmt:
+			record(n.Pos(), "go statement (new goroutine)")
+			return false
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map, *types.Slice, *types.Chan:
+					record(n.Pos(), "map/slice/chan composite literal")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					record(n.Pos(), "&composite literal (escapes to heap)")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok && isStringType(tv.Type) {
+					record(n.Pos(), "string concatenation")
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil {
+				checkBoxedResults(pass, n, sig, record)
+			}
+		case *ast.CallExpr:
+			summarizeCall(pass, n, sum, record, isCold)
+		}
+		return true
+	})
+	return sum
+}
+
+// summarizeCall classifies one call expression: allocation-relevant
+// conversion or builtin, denylisted package, boxing at the arguments,
+// or a static module-internal callee to follow.
+func summarizeCall(pass *Pass, call *ast.CallExpr, sum *allocSummary, record func(token.Pos, string), isCold func(token.Pos) bool) {
+	// Type conversions.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		target := tv.Type
+		argT := pass.TypesInfo.Types[call.Args[0]].Type
+		switch {
+		case types.IsInterface(target.Underlying()):
+			if argT != nil && !types.IsInterface(argT.Underlying()) && !pointerShaped(argT) {
+				record(call.Pos(), "conversion to interface (boxing)")
+			}
+		case isStringType(target) && argT != nil && isByteOrRuneSlice(argT):
+			record(call.Pos(), "[]byte/[]rune to string conversion")
+		case isByteOrRuneSlice(target) && argT != nil && isStringType(argT):
+			record(call.Pos(), "string to []byte/[]rune conversion")
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				record(call.Pos(), "append (may grow backing array)")
+			case "make":
+				record(call.Pos(), "make")
+			case "new":
+				record(call.Pos(), "new")
+			}
+			return
+		}
+	}
+
+	// Static callee resolution.
+	var fn *types.Func
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[f]; ok {
+			if m, ok := sel.Obj().(*types.Func); ok {
+				if recv := m.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type().Underlying()) {
+					fn = nil // dynamic dispatch: opaque
+				} else {
+					fn = m
+				}
+			}
+		} else {
+			fn, _ = pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		}
+	}
+
+	if fn != nil && fn.Pkg() != nil {
+		switch {
+		case pass.Session.InSession(fn.Pkg()):
+			if !isCold(call.Pos()) {
+				sum.callees = append(sum.callees, fn)
+			}
+		case allocDenylist[fn.Pkg().Path()]:
+			record(call.Pos(), "call to "+fn.Pkg().Name()+"."+fn.Name())
+		}
+	}
+
+	// Boxing at the call boundary: a non-pointer concrete argument
+	// passed to an interface parameter escapes to the heap.
+	ft := pass.TypesInfo.Types[call.Fun].Type
+	if ft == nil {
+		return
+	}
+	sigT, _ := ft.Underlying().(*types.Signature)
+	if sigT == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sigT, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg]
+		if at.Type == nil || at.IsNil() || types.IsInterface(at.Type.Underlying()) || pointerShaped(at.Type) {
+			continue
+		}
+		record(arg.Pos(), "argument boxed into interface parameter")
+	}
+}
+
+// checkBoxedResults flags concrete non-pointer values returned through
+// interface result types (the classic `return myErr` boxing).
+func checkBoxedResults(pass *Pass, ret *ast.ReturnStmt, sig *types.Signature, record func(token.Pos, string)) {
+	res := sig.Results()
+	if res == nil || len(ret.Results) != res.Len() {
+		return // bare return or multi-value call passthrough
+	}
+	for i, expr := range ret.Results {
+		rt := res.At(i).Type()
+		if !types.IsInterface(rt.Underlying()) {
+			continue
+		}
+		at := pass.TypesInfo.Types[expr]
+		if at.Type == nil || at.IsNil() || types.IsInterface(at.Type.Underlying()) || pointerShaped(at.Type) {
+			continue
+		}
+		record(expr.Pos(), "result boxed into interface return")
+	}
+}
+
+// paramType returns the type of parameter i of sig, unrolling variadic
+// parameters; ellipsis calls pass the slice through unchanged.
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && !ellipsis && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// pointerShaped reports whether boxing a value of type t into an
+// interface stores the value directly (no heap allocation): pointers,
+// channels, maps, funcs and unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteOrRuneSlice reports whether t is []byte or []rune.
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// coldRanges collects the position ranges of branches that terminate in
+// return or panic: the steady-state hot loop never takes them, so their
+// allocations are O(1) error-path costs, not per-task costs.
+func coldRanges(body *ast.BlockStmt) [][2]token.Pos {
+	var ranges [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			if terminates(n.Body.List) {
+				ranges = append(ranges, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+			}
+			if els, ok := n.Else.(*ast.BlockStmt); ok && terminates(els.List) {
+				ranges = append(ranges, [2]token.Pos{els.Pos(), els.End()})
+			}
+		case *ast.CaseClause:
+			if terminates(n.Body) && len(n.Body) > 0 {
+				ranges = append(ranges, [2]token.Pos{n.Body[0].Pos(), n.Body[len(n.Body)-1].End()})
+			}
+		case *ast.CommClause:
+			if terminates(n.Body) && len(n.Body) > 0 {
+				ranges = append(ranges, [2]token.Pos{n.Body[0].Pos(), n.Body[len(n.Body)-1].End()})
+			}
+		}
+		return true
+	})
+	return ranges
+}
+
+// terminates reports whether a statement list ends in return or panic.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

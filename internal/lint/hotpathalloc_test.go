@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"taskbench/internal/lint"
+	"taskbench/internal/lint/linttest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "hotpathalloc/dep", "hotpathalloc/a")
+}

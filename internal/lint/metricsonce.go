@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// MetricsOnce keeps metrics registration from panicking at runtime: the
+// registry treats a duplicate name as a programming error, so the
+// analyzer requires every Registry.Counter / Gauge / GaugeFunc /
+// CounterVec / Histogram call to use a string literal or named string
+// constant as its name (a computed name defeats static duplicate
+// detection), forbids registration inside a for/range loop (the
+// canonical way to register the same name twice), and flags two
+// registrations of the same constant name within one function body.
+var MetricsOnce = &Analyzer{
+	Name: "metricsonce",
+	Doc:  "metrics registration must use constant names, stay out of loops, and never duplicate a name",
+	Run:  runMetricsOnce,
+}
+
+// metricsPkgPath owns the Registry type whose registration methods are
+// checked.
+const metricsPkgPath = "taskbench/internal/metrics"
+
+var registrationMethods = map[string]bool{
+	"Counter":    true,
+	"Gauge":      true,
+	"GaugeFunc":  true,
+	"CounterVec": true,
+	"Histogram":  true,
+}
+
+func runMetricsOnce(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRegistrations(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkRegistrations walks one function body tracking loop depth and
+// the constant names already registered in it.
+func checkRegistrations(pass *Pass, body *ast.BlockStmt) {
+	seen := map[string]bool{}
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				if m.Init != nil {
+					walk(m.Init, loopDepth)
+				}
+				walk(m.Body, loopDepth+1)
+				return false
+			case *ast.RangeStmt:
+				walk(m.Body, loopDepth+1)
+				return false
+			case *ast.CallExpr:
+				if name, ok := registrationCall(pass, m); ok {
+					checkOneRegistration(pass, m, name, loopDepth, seen)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+}
+
+// registrationCall reports whether call is a Registry registration
+// method and returns the method name.
+func registrationCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !registrationMethods[sel.Sel.Name] {
+		return "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != metricsPkgPath {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	t := recv.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func checkOneRegistration(pass *Pass, call *ast.CallExpr, method string, loopDepth int, seen map[string]bool) {
+	if loopDepth > 0 {
+		pass.Reportf(call.Pos(), "metrics: Registry.%s inside a loop — a repeated name panics at runtime; register once at construction", method)
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	nameArg := call.Args[0]
+	tv := pass.TypesInfo.Types[nameArg]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(nameArg.Pos(), "metrics: Registry.%s name must be a string literal or named string constant, not a computed value", method)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if seen[name] {
+		pass.Reportf(call.Pos(), "metrics: duplicate registration of %q in this function — the registry panics on duplicate names", name)
+		return
+	}
+	seen[name] = true
+}

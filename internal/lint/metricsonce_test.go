@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"taskbench/internal/lint"
+	"taskbench/internal/lint/linttest"
+)
+
+func TestMetricsOnce(t *testing.T) {
+	linttest.Run(t, lint.MetricsOnce, "metricsonce/a")
+}

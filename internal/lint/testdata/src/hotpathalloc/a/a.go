@@ -1,0 +1,64 @@
+package a
+
+import (
+	"fmt"
+
+	"hotpathalloc/dep"
+)
+
+var sink int
+
+// Hot is an annotated root: every allocating construct in its steady
+// state must be flagged.
+//
+//taskbench:hotpath
+func Hot(xs []int, n int, s string) int {
+	xs = append(xs, n)            // want `append`
+	m := make([]int, n)           // want `make`
+	p := new(int)                 // want `new`
+	lit := []int{1, 2}            // want `composite literal`
+	box(n)                        // want `boxed into interface`
+	cl := func() int { return n } // want `closure`
+	go spin()                     // want `go statement`
+	s2 := s + "x"                 // want `string concatenation`
+	b := []byte(s)                // want `string to \[\]byte`
+	sink = len(m) + len(lit) + len(b) + len(s2) + *p + cl() + xs[0]
+	return helper(n) + dep.Sum(xs)
+}
+
+func box(v any) { sink += v.(int) }
+
+func spin() {}
+
+// helper is hot by reachability: Hot calls it statically.
+func helper(n int) int {
+	q := make([]int, n) // want `make.*in helper, reachable from //taskbench:hotpath Hot`
+	return len(q)
+}
+
+// Clean is annotated and steady-state allocation-free: the error path
+// terminates (exempt), and the append into recycled capacity carries an
+// explicit waiver.
+//
+//taskbench:hotpath
+func Clean(buf []byte, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, errRange(n)
+	}
+	if n > 1<<20 {
+		panic(fmt.Sprintf("clean: n out of range: %d", n))
+	}
+	buf = append(buf, byte(n)) //taskbench:allocok amortized into recycled capacity
+	return buf, nil
+}
+
+// errRange is only called on the terminating error path, so it is not
+// part of the hot reachability set.
+func errRange(n int) error {
+	return fmt.Errorf("value %d out of range", n)
+}
+
+// Setup is not annotated: allocation off the hot path is fine.
+func Setup(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,19 @@
+// Package dep is a cross-package callee of the annotated root in
+// package a: its allocation must be attributed to that root through
+// the exported fact, not missed at the package boundary.
+package dep
+
+// Sum is not annotated itself; it is hot because hotpathalloc/a.Hot
+// statically calls it.
+func Sum(xs []int) int {
+	seen := map[int]bool{} // want `composite literal.*reachable from //taskbench:hotpath Hot`
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}
+
+// Cold is never reached from an annotated root: it may allocate.
+func Cold(n int) []int {
+	return make([]int, n)
+}

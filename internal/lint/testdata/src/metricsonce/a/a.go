@@ -1,0 +1,36 @@
+package a
+
+import (
+	"strconv"
+
+	"taskbench/internal/metrics"
+)
+
+const metricGood = "good_total"
+
+// Setup registers constant names once, outside any loop: all fine.
+func Setup(r *metrics.Registry) {
+	r.Counter(metricGood, "help")
+	r.Gauge("depth", "help")
+	r.Histogram("latency", "help", nil)
+	r.CounterVec("by_shape", "help", "shape")
+}
+
+// LoopRegistration would panic on the second iteration at runtime.
+func LoopRegistration(r *metrics.Registry, names []string) {
+	for _, n := range names {
+		r.Counter(n, "help") // want `Registry\.Counter inside a loop` `string literal or named string constant`
+	}
+}
+
+// Duplicate registers the same name twice in one constructor.
+func Duplicate(r *metrics.Registry) {
+	r.Counter("dup_total", "help")
+	r.Counter("dup_total", "help") // want `duplicate registration of "dup_total"`
+}
+
+// Computed builds the metric name at runtime, defeating static
+// duplicate detection.
+func Computed(r *metrics.Registry, shard int) {
+	r.Gauge("shard_"+strconv.Itoa(shard), "help") // want `string literal or named string constant`
+}

@@ -1,0 +1,143 @@
+// Package cluster is a skeletal stand-in for the real
+// taskbench/internal/cluster exercising the documented lock hierarchy:
+// configEntry.lock (10) < metrics.Registry.mu (20) <
+// metrics.CounterVec.mu (25) < Coordinator.mu (30) < workerConn.mu /
+// clientConn.mu (40). Locks may only be acquired in increasing rank.
+package cluster
+
+import (
+	"sync"
+
+	"taskbench/internal/metrics"
+)
+
+type configEntry struct {
+	lock chan struct{}
+}
+
+type workerConn struct {
+	mu sync.Mutex
+}
+
+type Coordinator struct {
+	mu      sync.Mutex
+	reg     *metrics.Registry
+	vec     *metrics.CounterVec
+	queue   []int
+	workers []*workerConn
+}
+
+// goodGauge follows the hierarchy: the gauge closure runs under the
+// registry render lock (rank 20) and takes c.mu (rank 30) inside it.
+func (c *Coordinator) goodGauge() {
+	c.reg.GaugeFunc("queue_depth", "", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.queue))
+	})
+}
+
+// badRegistryUnderCoordinator registers a metric while holding c.mu:
+// rank 20 acquired under rank 30.
+func (c *Coordinator) badRegistryUnderCoordinator() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg.Counter("x", "") // want `calling Counter, which acquires metrics\.Registry\.mu \(rank 20\), while holding cluster\.Coordinator\.mu \(rank 30\)`
+}
+
+// badGaugeReentry calls back into the registry from a gauge closure,
+// which deadlocks against the render loop that invoked it.
+func (c *Coordinator) badGaugeReentry() {
+	c.reg.GaugeFunc("bad", "", func() float64 {
+		c.reg.Counter("y", "") // want `calling Counter, which acquires metrics\.Registry\.mu \(rank 20\), while holding metrics\.Registry\.mu \(rank 20\)`
+		return 0
+	})
+}
+
+// badVecUnderCoordinator touches a CounterVec under c.mu; With must run
+// outside the coordinator lock.
+func (c *Coordinator) badVecUnderCoordinator() {
+	c.mu.Lock()
+	c.vec.With("shape") // want `calling With, which acquires metrics\.CounterVec\.mu \(rank 25\), while holding cluster\.Coordinator\.mu \(rank 30\)`
+	c.mu.Unlock()
+}
+
+// goodVecOutside releases c.mu before touching the vec.
+func (c *Coordinator) goodVecOutside() {
+	c.mu.Lock()
+	n := len(c.queue)
+	c.mu.Unlock()
+	if n > 0 {
+		c.vec.With("shape").Inc()
+	}
+}
+
+// badRunLockUnderMu acquires the per-shape run lock (rank 10, a channel
+// send) while holding c.mu (rank 30).
+func (c *Coordinator) badRunLockUnderMu(e *configEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.lock <- struct{}{} // want `acquiring configEntry\.lock \(per-shape run lock\) \(rank 10\) while holding cluster\.Coordinator\.mu \(rank 30\)`
+}
+
+// goodRunLock takes the run lock first, then the coordinator mutex.
+func (c *Coordinator) goodRunLock(e *configEntry) {
+	e.lock <- struct{}{}
+	c.mu.Lock()
+	c.queue = c.queue[:0]
+	c.mu.Unlock()
+	<-e.lock
+}
+
+// badDoubleLock re-enters its own mutex through a helper.
+func (c *Coordinator) badDoubleLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.helperLocks() // want `calling helperLocks, which acquires cluster\.Coordinator\.mu \(rank 30\), while holding cluster\.Coordinator\.mu \(rank 30\)`
+}
+
+func (c *Coordinator) helperLocks() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// badLeafOrder takes the coordinator lock while holding a leaf
+// connection lock: rank 30 acquired under rank 40.
+func (c *Coordinator) badLeafOrder(w *workerConn) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c.mu.Lock() // want `acquiring cluster\.Coordinator\.mu \(rank 30\) while holding cluster\.workerConn\.mu \(rank 40\)`
+	c.mu.Unlock()
+}
+
+// goodLeafOrder takes the coordinator lock, then the leaf lock.
+func (c *Coordinator) goodLeafOrder(w *workerConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.mu.Lock()
+	w.mu.Unlock()
+}
+
+// goodBranches releases on the early-exit path; the steady path keeps
+// the lock to the end. Neither branch misorders anything.
+func (c *Coordinator) goodBranches(stop bool) {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return
+	}
+	c.queue = append(c.queue, 1)
+	c.mu.Unlock()
+}
+
+// goodTryAcquire models the select-based non-blocking try-acquire of a
+// run lock: the send arm holds the lock inside the clause only.
+func (c *Coordinator) goodTryAcquire(e *configEntry) bool {
+	select {
+	case e.lock <- struct{}{}:
+		<-e.lock
+		return true
+	default:
+		return false
+	}
+}

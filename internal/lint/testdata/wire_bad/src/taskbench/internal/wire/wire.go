@@ -1,0 +1,44 @@
+// Package wire is a miniature stand-in for the real
+// taskbench/internal/wire with several planted contract violations: an
+// orphan message type, stale golden fixtures, a codec that skips a
+// field, and a statsFields schedule that disagrees with StatsInfo
+// declaration order.
+package wire
+
+type Message struct {
+	V     int
+	Type  string
+	Extra string // want `field Extra is never written by appendMessageBody` `field Extra is never read by decodeMessageBody`
+}
+
+const (
+	MsgRegister = "register"
+	MsgDone     = "done"   // want `missing from golden fixture testdata/messages\.jsonl` `missing from golden fixture testdata/messages\.bin`
+	MsgOrphan   = "orphan" // want `has no binary code in msgCodes` `missing from golden fixture testdata/messages\.jsonl`
+)
+
+var msgCodes = map[string]byte{
+	MsgRegister: 1,
+	MsgDone:     2,
+}
+
+type StatsInfo struct {
+	Workers int
+	JobsRun int
+}
+
+func statsFields(s *StatsInfo) []*int {
+	return []*int{&s.JobsRun, &s.Workers} // want `statsFields position 0 is JobsRun, but StatsInfo declares Workers there`
+}
+
+func appendMessageBody(b []byte, m *Message) []byte {
+	b = append(b, byte(m.V), msgCodes[m.Type])
+	return b
+}
+
+func decodeMessageBody(body []byte) Message {
+	var m Message
+	m.V = int(body[0])
+	m.Type = MsgRegister
+	return m
+}

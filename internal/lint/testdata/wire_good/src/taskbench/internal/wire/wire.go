@@ -1,0 +1,49 @@
+// Package wire is a miniature stand-in for the real
+// taskbench/internal/wire with a fully consistent contract: every
+// message type has a binary code, the codec touches every Message
+// field, statsFields matches StatsInfo declaration order, and both
+// golden fixtures cover every type.
+package wire
+
+type Message struct {
+	V    int
+	Type string
+	Name string
+	Job  uint64
+}
+
+const (
+	MsgRegister = "register"
+	MsgDone     = "done"
+)
+
+var msgCodes = map[string]byte{
+	MsgRegister: 1,
+	MsgDone:     2,
+}
+
+type StatsInfo struct {
+	Workers int
+	JobsRun int
+}
+
+func statsFields(s *StatsInfo) []*int {
+	return []*int{&s.Workers, &s.JobsRun}
+}
+
+func appendMessageBody(b []byte, m *Message) []byte {
+	b = append(b, byte(m.V), msgCodes[m.Type])
+	b = append(b, byte(len(m.Name)))
+	b = append(b, m.Name...)
+	b = append(b, byte(m.Job))
+	return b
+}
+
+func decodeMessageBody(body []byte) Message {
+	var m Message
+	m.V = int(body[0])
+	m.Type = MsgRegister
+	m.Name = string(body[3 : 3+body[2]])
+	m.Job = uint64(body[len(body)-1])
+	return m
+}

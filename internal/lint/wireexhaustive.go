@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+)
+
+// WireExhaustive enforces the wire protocol's exhaustiveness and
+// append-only contracts on taskbench/internal/wire:
+//
+//   - every Msg* message-type constant has a binary type code in the
+//     msgCodes table, and no two types share a code;
+//   - every Message field is written by appendMessageBody and read by
+//     decodeMessageBody (a field added to the envelope but not the
+//     codec would silently vanish on the binary path);
+//   - the statsFields schedule lists exactly the fields of StatsInfo in
+//     declaration order — reordering or removing a field breaks decode
+//     against older peers, so StatsInfo is append-only;
+//   - every message type appears in both golden fixtures,
+//     testdata/messages.jsonl and testdata/messages.bin, so the decode
+//     goldens actually cover the whole protocol.
+var WireExhaustive = &Analyzer{
+	Name: "wireexhaustive",
+	Doc:  "wire message codes, codec field coverage, statsFields order and golden fixtures must stay exhaustive",
+	Run:  runWireExhaustive,
+}
+
+// wirePkgPath is the only package the analyzer inspects.
+const wirePkgPath = "taskbench/internal/wire"
+
+// msgConst is one Msg* message-type constant.
+type msgConst struct {
+	name, value string
+	pos         token.Pos
+}
+
+func runWireExhaustive(pass *Pass) error {
+	if pass.Pkg.Path != wirePkgPath {
+		return nil
+	}
+
+	// Msg* string constants, in declaration order.
+	var msgs []msgConst
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for _, name := range vs.Names {
+				obj, ok := pass.TypesInfo.Defs[name].(*types.Const)
+				if !ok || len(name.Name) < 4 || name.Name[:3] != "Msg" {
+					continue
+				}
+				if obj.Val().Kind() != constant.String || obj.Parent() != pass.Types.Scope() {
+					continue
+				}
+				msgs = append(msgs, msgConst{name.Name, constant.StringVal(obj.Val()), name.Pos()})
+			}
+			return true
+		})
+	}
+
+	// The msgCodes composite literal: constant name -> byte code.
+	codes := map[string]byte{}
+	var codesPos token.Pos
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if name.Name != "msgCodes" || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				codesPos = name.Pos()
+				seen := map[byte]string{}
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					keyID, ok := ast.Unparen(kv.Key).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					cv := pass.TypesInfo.Types[kv.Value]
+					if cv.Value == nil {
+						continue
+					}
+					code64, _ := constant.Int64Val(cv.Value)
+					code := byte(code64)
+					if code == 0 {
+						pass.Reportf(kv.Value.Pos(), "wire: %s has binary code 0, which is reserved as invalid", keyID.Name)
+					}
+					if prev, dup := seen[code]; dup {
+						pass.Reportf(kv.Value.Pos(), "wire: %s and %s share binary code %d", prev, keyID.Name, code)
+					}
+					seen[code] = keyID.Name
+					codes[keyID.Name] = code
+				}
+			}
+			return true
+		})
+	}
+	if codesPos == token.NoPos {
+		pass.Reportf(pass.Files[0].Pos(), "wire: no msgCodes table found; the binary codec cannot be checked")
+		return nil
+	}
+	for _, m := range msgs {
+		if _, ok := codes[m.name]; !ok {
+			pass.Reportf(m.pos, "wire: message type %s (%q) has no binary code in msgCodes", m.name, m.value)
+		}
+	}
+
+	checkCodecCoverage(pass)
+	checkStatsFields(pass)
+	checkGoldenFixtures(pass, msgs, codes)
+	return nil
+}
+
+// checkCodecCoverage requires every Message field to be touched by both
+// appendMessageBody and decodeMessageBody.
+func checkCodecCoverage(pass *Pass) {
+	msgStruct, fields := namedStructFields(pass, "Message")
+	if msgStruct == nil {
+		return
+	}
+	enc := fieldsTouched(pass, "appendMessageBody", msgStruct)
+	dec := fieldsTouched(pass, "decodeMessageBody", msgStruct)
+	if enc == nil || dec == nil {
+		pass.Reportf(pass.Files[0].Pos(), "wire: appendMessageBody/decodeMessageBody not found; codec coverage cannot be checked")
+		return
+	}
+	for _, f := range fields {
+		if !enc[f.name] {
+			pass.Reportf(f.pos, "wire: Message field %s is never written by appendMessageBody", f.name)
+		}
+		if !dec[f.name] {
+			pass.Reportf(f.pos, "wire: Message field %s is never read by decodeMessageBody", f.name)
+		}
+	}
+}
+
+type namedField struct {
+	name string
+	pos  token.Pos
+}
+
+// namedStructFields returns the named struct type and its fields in
+// declaration order.
+func namedStructFields(pass *Pass, typeName string) (*types.Named, []namedField) {
+	obj, ok := pass.Types.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	fields := make([]namedField, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[i] = namedField{st.Field(i).Name(), st.Field(i).Pos()}
+	}
+	return named, fields
+}
+
+// fieldsTouched returns the set of fieldOwner's field names selected
+// anywhere inside the named function, or nil if the function does not
+// exist.
+func fieldsTouched(pass *Pass, funcName string, owner *types.Named) map[string]bool {
+	var body *ast.BlockStmt
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == funcName && fd.Recv == nil && fd.Body != nil {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		return nil
+	}
+	touched := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok {
+			return true
+		}
+		recv := s.Recv()
+		if p, ok := recv.Underlying().(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok && named.Obj() == owner.Obj() {
+			touched[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return touched
+}
+
+// checkStatsFields pins statsFields to StatsInfo's declaration order:
+// the binary schedule must list every field, in order — the append-only
+// contract that keeps old peers able to decode the prefix they know.
+func checkStatsFields(pass *Pass) {
+	_, fields := namedStructFields(pass, "StatsInfo")
+	if fields == nil {
+		return
+	}
+	var fd *ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if f, ok := decl.(*ast.FuncDecl); ok && f.Name.Name == "statsFields" && f.Body != nil {
+				fd = f
+			}
+		}
+	}
+	if fd == nil {
+		pass.Reportf(pass.Files[0].Pos(), "wire: statsFields not found; the StatsInfo append-only contract cannot be checked")
+		return
+	}
+	var schedule []string
+	var schedulePos []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			return true
+		}
+		if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+			schedule = append(schedule, sel.Sel.Name)
+			schedulePos = append(schedulePos, sel.Pos())
+		}
+		return false
+	})
+	for i, f := range fields {
+		if i >= len(schedule) {
+			pass.Reportf(f.pos, "wire: StatsInfo field %s is missing from the statsFields schedule (new fields append at the end, with a ProtoVersion bump)", f.name)
+			continue
+		}
+		if schedule[i] != f.name {
+			pass.Reportf(schedulePos[i], "wire: statsFields position %d is %s, but StatsInfo declares %s there — the schedule is append-only and must match declaration order", i, schedule[i], f.name)
+			return
+		}
+	}
+	if len(schedule) > len(fields) {
+		pass.Reportf(schedulePos[len(fields)], "wire: statsFields lists %d fields but StatsInfo declares only %d", len(schedule), len(fields))
+	}
+}
+
+// checkGoldenFixtures requires every message type to appear in the
+// golden JSONL and binary fixtures next to the package sources.
+func checkGoldenFixtures(pass *Pass, msgs []msgConst, codes map[string]byte) {
+	jsonlPath := filepath.Join(pass.Pkg.Dir, "testdata", "messages.jsonl")
+	binPath := filepath.Join(pass.Pkg.Dir, "testdata", "messages.bin")
+
+	jsonTypes, err := jsonlMessageTypes(jsonlPath)
+	if err != nil {
+		pass.Reportf(pass.Files[0].Pos(), "wire: golden JSONL fixture unreadable: %v", err)
+	}
+	binCodes, err := binFrameCodes(binPath)
+	if err != nil {
+		pass.Reportf(pass.Files[0].Pos(), "wire: golden BIN fixture unreadable: %v", err)
+	}
+	for _, m := range msgs {
+		if jsonTypes != nil && !jsonTypes[m.value] {
+			pass.Reportf(m.pos, "wire: message type %s (%q) missing from golden fixture testdata/messages.jsonl", m.name, m.value)
+		}
+		if binCodes != nil {
+			if code, ok := codes[m.name]; ok && !binCodes[code] {
+				pass.Reportf(m.pos, "wire: message type %s (code %d) missing from golden fixture testdata/messages.bin", m.name, code)
+			}
+		}
+	}
+}
+
+// jsonlMessageTypes reads the "type" of every line of a JSONL fixture.
+func jsonlMessageTypes(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	typesSeen := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &m); err == nil && m.Type != "" {
+			typesSeen[m.Type] = true
+		}
+	}
+	return typesSeen, sc.Err()
+}
+
+// binFrameCodes scans a binary golden fixture's frames (0xB1, uvarint
+// body length, body = uvarint version + type code byte + fields) and
+// returns the set of type codes present.
+func binFrameCodes(path string) (map[byte]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	codesSeen := map[byte]bool{}
+	for len(data) > 0 {
+		if data[0] != 0xB1 {
+			return codesSeen, nil // trailing garbage: report what was found
+		}
+		bodyLen, n := binary.Uvarint(data[1:])
+		if n <= 0 || uint64(len(data[1+n:])) < bodyLen {
+			return codesSeen, nil
+		}
+		body := data[1+n : 1+n+int(bodyLen)]
+		if _, vn := binary.Uvarint(body); vn > 0 && vn < len(body) {
+			codesSeen[body[vn]] = true
+		}
+		data = data[1+n+int(bodyLen):]
+	}
+	return codesSeen, nil
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"taskbench/internal/lint"
+	"taskbench/internal/lint/linttest"
+)
+
+// The good and bad fakes both occupy the real wire import path, so they
+// live under separate source roots.
+
+func TestWireExhaustiveClean(t *testing.T) {
+	linttest.RunDir(t, lint.WireExhaustive, "testdata/wire_good/src", "taskbench/internal/wire")
+}
+
+func TestWireExhaustiveViolations(t *testing.T) {
+	linttest.RunDir(t, lint.WireExhaustive, "testdata/wire_bad/src", "taskbench/internal/wire")
+}

@@ -59,6 +59,8 @@ func fillByteAt(seed uint64, k int) byte {
 // be at least PayloadHeaderSize bytes (guaranteed by Params
 // validation). The bytes beyond the header carry the fill pattern,
 // written in uint64 lanes.
+//
+//taskbench:hotpath
 func (g *Graph) WriteOutput(t, i int, buf []byte) {
 	if len(buf) < PayloadHeaderSize {
 		panic("core: output buffer smaller than payload header")
@@ -92,6 +94,8 @@ func decodeHeader(buf []byte) (t, i int64) {
 // overhead below the paper's 3% bound even for large payloads. The
 // success path allocates nothing — error values are only constructed
 // on failure.
+//
+//taskbench:hotpath
 func (g *Graph) checkInput(t, i int, buf []byte, wantT, wantI int) error {
 	if len(buf) != g.OutputBytes {
 		return &ValidationError{GraphID: g.GraphID, Timestep: t, Point: i,
@@ -126,6 +130,8 @@ func (g *Graph) checkInput(t, i int, buf []byte, wantT, wantI int) error {
 //
 // Setting validate to false skips input checking; the ablation
 // benchmark uses this to measure validation overhead.
+//
+//taskbench:hotpath
 func (g *Graph) ExecutePoint(t, i int, output []byte, inputs [][]byte, scratch *kernels.Scratch, validate bool) error {
 	if !g.ContainsPoint(t, i) {
 		return &ValidationError{GraphID: g.GraphID, Timestep: t, Point: i,

@@ -20,6 +20,8 @@ type Buf struct {
 
 // Release drops one reference, recycling the buffer when it reaches
 // zero. Safe to call concurrently from multiple consumers.
+//
+//taskbench:hotpath
 func (b *Buf) Release() {
 	if b.refs.Add(-1) == 0 {
 		b.pool.put(b)
@@ -44,6 +46,8 @@ func NewBufPool(size int) *BufPool {
 // Get returns a buffer with the reference count set to refs. A task
 // with zero consumers may pass refs=1 and release after writing, so
 // the buffer is still valid while the task writes its output.
+//
+//taskbench:hotpath
 func (p *BufPool) Get(refs int) *Buf {
 	b := p.pool.Get().(*Buf)
 	b.refs.Store(int32(refs))

@@ -76,47 +76,59 @@ func (e *Engine) Run(validate bool) error {
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
-			var inputs [][]byte
-			ready := make([]int32, 0, ReadyBatch)
-			for {
-				ids, ok := e.policy.Pop(self)
-				if !ok {
-					return
-				}
-				if len(ids) == 0 {
-					// Spinning policy with no work right now.
-					stdruntime.Gosched()
-					continue
-				}
-				for _, id := range ids {
-					var err error
-					inputs, err = plan.Execute(id, e.out, e.pools,
-						validate && !firstErr.Failed(), inputs)
-					if err != nil {
-						firstErr.Set(err)
-					}
-					if e.completer != nil {
-						e.completer.Complete(self, id)
-					} else {
-						ready = ready[:0]
-						for _, cons := range plan.Tasks[id].Consumers {
-							if plan.Tasks[cons].Counter.Add(-1) == 0 {
-								ready = append(ready, cons)
-							}
-						}
-						if len(ready) > 0 {
-							e.policy.Push(self, ready)
-						}
-					}
-					if remaining.Add(-1) == 0 {
-						e.policy.Close()
-					}
-				}
-			}
+			e.runWorker(self, validate, &firstErr, &remaining)
 		}(w)
 	}
 	wg.Wait()
 	return firstErr.Err()
+}
+
+// runWorker is one worker goroutine's task loop — the innermost hot
+// path of every shared-memory DAG backend. At sub-100µs granularities
+// any per-task allocation here shows up directly in the METG curve, so
+// the gather buffer and the ready batch are reused across the whole
+// run and only error paths construct values.
+//
+//taskbench:hotpath
+func (e *Engine) runWorker(self int, validate bool, firstErr *ErrOnce, remaining *atomic.Int64) {
+	plan := e.plan
+	var inputs [][]byte
+	ready := make([]int32, 0, ReadyBatch) //taskbench:allocok per-worker setup, before the loop
+	for {
+		ids, ok := e.policy.Pop(self)
+		if !ok {
+			return
+		}
+		if len(ids) == 0 {
+			// Spinning policy with no work right now.
+			stdruntime.Gosched()
+			continue
+		}
+		for _, id := range ids {
+			var err error
+			inputs, err = plan.Execute(id, e.out, e.pools,
+				validate && !firstErr.Failed(), inputs)
+			if err != nil {
+				firstErr.Set(err)
+			}
+			if e.completer != nil {
+				e.completer.Complete(self, id)
+			} else {
+				ready = ready[:0]
+				for _, cons := range plan.Tasks[id].Consumers {
+					if plan.Tasks[cons].Counter.Add(-1) == 0 {
+						ready = append(ready, cons) //taskbench:allocok bounded by cap(ReadyBatch) spills; amortized
+					}
+				}
+				if len(ready) > 0 {
+					e.policy.Push(self, ready)
+				}
+			}
+			if remaining.Add(-1) == 0 {
+				e.policy.Close()
+			}
+		}
+	}
 }
 
 // Session couples an App with a reusable Plan and Engine so repeated

@@ -73,6 +73,8 @@ func NewEdgePool(edges, edgeCap int) PayloadPool {
 }
 
 // Get returns a buffer of the given length, recycled when possible.
+//
+//taskbench:hotpath
 func (p PayloadPool) Get(length int) []byte {
 	select {
 	case buf := <-p.ch:
@@ -81,10 +83,12 @@ func (p PayloadPool) Get(length int) []byte {
 		}
 	default:
 	}
-	return make([]byte, length)
+	return make([]byte, length) //taskbench:allocok pool-miss fallback; a warmed-up steady state never reaches it
 }
 
 // Put returns a consumed buffer to the pool, dropping it when full.
+//
+//taskbench:hotpath
 func (p PayloadPool) Put(buf []byte) {
 	select {
 	case p.ch <- buf:
@@ -164,6 +168,8 @@ func (f *Fabric) Remote(graph, producer, consumer int) bool {
 // from the graph's free list when one is available, so steady-state
 // communication is allocation-free once the first run has populated
 // the list (consumers return buffers via Recycle).
+//
+//taskbench:hotpath
 func (f *Fabric) Send(graph, producer, consumer int, payload []byte) {
 	msg := f.free[graph].Get(len(payload))
 	copy(msg, payload)
@@ -173,6 +179,8 @@ func (f *Fabric) Send(graph, producer, consumer int, payload []byte) {
 // Recv blocks until the next message on the edge producer→consumer
 // arrives and returns it. The caller owns the returned buffer and
 // should Recycle it once the payload has been consumed.
+//
+//taskbench:hotpath
 func (f *Fabric) Recv(graph, producer, consumer int) []byte {
 	return <-f.chans[graph][consumer][producer]
 }
@@ -180,6 +188,8 @@ func (f *Fabric) Recv(graph, producer, consumer int) []byte {
 // Recycle returns a delivered payload buffer to graph's free list for
 // reuse by a later Send, dropping the buffer if the list is full. Only
 // buffers obtained from Recv on this fabric may be recycled.
+//
+//taskbench:hotpath
 func (f *Fabric) Recycle(graph int, payload []byte) {
 	f.free[graph].Put(payload)
 }

@@ -261,6 +261,8 @@ func (p *Plan) TaskCount() int64 {
 // touch dependence counters — queueing discipline is the backend's
 // business. Returns the first validation error (the task still
 // publishes an output so execution can continue draining).
+//
+//taskbench:hotpath
 func (p *Plan) Execute(id int32, out []*Buf, pools []*BufPool, validate bool, inputs [][]byte) ([][]byte, error) {
 	task := &p.Tasks[id]
 	g := p.App.Graphs[task.Graph]
@@ -268,7 +270,7 @@ func (p *Plan) Execute(id int32, out []*Buf, pools []*BufPool, validate bool, in
 
 	inputs = inputs[:0]
 	for _, prodID := range task.Inputs {
-		inputs = append(inputs, out[prodID].Data)
+		inputs = append(inputs, out[prodID].Data) //taskbench:allocok grows to the DAG's max in-degree once, then reuses capacity
 	}
 
 	err := g.ExecutePoint(int(task.T), int(task.I), buf.Data, inputs, p.Scratch(id), validate)

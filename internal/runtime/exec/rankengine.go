@@ -214,6 +214,8 @@ func (rc *RankCtx) Run(gi, t, i int) []byte {
 // buffer and the task's output. Received remote payloads are recycled
 // back to the transport after execution, so steady-state communication
 // reuses buffers instead of allocating.
+//
+//taskbench:hotpath
 func (rc *RankCtx) RunInto(inputs [][]byte, gi, t, i int) ([][]byte, []byte) {
 	g := rc.Graph(gi)
 	span := rc.Span(gi)
@@ -223,9 +225,9 @@ func (rc *RankCtx) RunInto(inputs [][]byte, gi, t, i int) ([][]byte, []byte) {
 	deps := g.PointDeps(t, i)
 	for dep, ok := deps.Next(); ok; dep, ok = deps.Next() {
 		if dep >= span.Lo && dep < span.Hi {
-			inputs = append(inputs, rows.Prev(dep))
+			inputs = append(inputs, rows.Prev(dep)) //taskbench:allocok grows to the max in-degree once, then reuses capacity
 		} else {
-			inputs = append(inputs, tr.Recv(gi, dep, i))
+			inputs = append(inputs, tr.Recv(gi, dep, i)) //taskbench:allocok grows to the max in-degree once, then reuses capacity
 		}
 	}
 	out := rc.ExecWith(gi, t, i, inputs)
@@ -254,6 +256,8 @@ func (rc *RankCtx) RunInto(inputs [][]byte, gi, t, i int) ([][]byte, []byte) {
 // published for peers) instead of burning kernel time on doomed work —
 // which is what lets a job on a dead cluster peer fail in milliseconds
 // rather than after the full busy-wait schedule.
+//
+//taskbench:hotpath
 func (rc *RankCtx) ExecWith(gi, t, i int, inputs [][]byte) []byte {
 	g := rc.Graph(gi)
 	out := rc.plan().Rows(rc.Rank, gi).Cur(i)
@@ -271,6 +275,8 @@ func (rc *RankCtx) ExecWith(gi, t, i int, inputs [][]byte) []byte {
 
 // SendOutputs sends task (t, i)'s output to every consumer in the next
 // timestep owned by a different rank.
+//
+//taskbench:hotpath
 func (rc *RankCtx) SendOutputs(gi, t, i int, out []byte) {
 	g := rc.Graph(gi)
 	tr := rc.engine.transport

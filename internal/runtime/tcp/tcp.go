@@ -461,8 +461,10 @@ func readHandshake(conn net.Conn) (config uint64, from, to int, err error) {
 // that do not add up — also tear the mesh down: framing is
 // self-inflicted, so a bad header means the stream is unrecoverably
 // desynchronized.
+//
+//taskbench:hotpath
 func (tr *MeshTransport) demux(conn net.Conn) {
-	br := bufio.NewReaderSize(conn, 64<<10)
+	br := bufio.NewReaderSize(conn, 64<<10) //taskbench:allocok one-time per-connection setup, before the loop
 	var header [frameHeaderSize]byte
 	var desc []byte // reusable batch descriptor scratch
 	for {
@@ -484,7 +486,7 @@ func (tr *MeshTransport) demux(conn net.Conn) {
 				return
 			}
 			if cap(desc) < int(descLen) {
-				desc = make([]byte, descLen)
+				desc = make([]byte, descLen) //taskbench:allocok descriptor scratch grows to its high-water mark, then reuses
 			}
 			desc = desc[:descLen]
 			if _, err := io.ReadFull(br, desc); err != nil {
@@ -521,6 +523,8 @@ func (tr *MeshTransport) demux(conn net.Conn) {
 // route: graph, producer, consumer. It returns false when the demux
 // loop must stop (read failure, unknown edge, or teardown), having
 // already failed the mesh where that is warranted.
+//
+//taskbench:hotpath
 func (tr *MeshTransport) deliver(br *bufio.Reader, route []byte, plen int) bool {
 	graph := int(int32(binary.LittleEndian.Uint32(route[0:4])))
 	producer := int(int32(binary.LittleEndian.Uint32(route[4:8])))
@@ -581,15 +585,19 @@ func (tr *MeshTransport) teardown() {
 // demultiplexing is allocation-free after the first timesteps. The
 // graph index comes off the wire, so it is bounds-checked here (the
 // malformed-frame error surfaces later in the edge lookup).
+//
+//taskbench:hotpath
 func (tr *MeshTransport) frameBuf(graph, length int) []byte {
 	if graph >= 0 && graph < len(tr.free) {
 		return tr.free[graph].Get(length)
 	}
-	return make([]byte, length)
+	return make([]byte, length) //taskbench:allocok unknown-graph fallback; the frame fails the edge lookup right after
 }
 
 // Recycle implements exec.Transport: consumed frame buffers return to
 // the graph's free list for reuse by the demultiplexers.
+//
+//taskbench:hotpath
 func (tr *MeshTransport) Recycle(graph int, payload []byte) {
 	if graph < 0 || graph >= len(tr.free) || payload == nil {
 		return
@@ -636,6 +644,8 @@ type pendBatch struct {
 // writes a given connection (or touches its pending batches), so no
 // locking is needed. With batching disabled the frame still leaves in
 // a single writev — header and payload in one syscall, not two.
+//
+//taskbench:hotpath
 func (tr *MeshTransport) Send(fromRank, graph, producer, consumer int, payload []byte) error {
 	toRank := exec.OwnerOf(consumer, tr.widths[graph], tr.ranks)
 	conn := tr.out[fromRank][toRank]
@@ -659,7 +669,7 @@ func (tr *MeshTransport) Send(fromRank, graph, producer, consumer int, payload [
 	p.desc = binary.LittleEndian.AppendUint32(p.desc, uint32(graph))
 	p.desc = binary.LittleEndian.AppendUint32(p.desc, uint32(producer))
 	p.desc = binary.LittleEndian.AppendUint32(p.desc, uint32(consumer))
-	p.payloads = append(p.payloads, payload)
+	p.payloads = append(p.payloads, payload) //taskbench:allocok grows to the per-step batch high-water mark, then reuses
 	p.bytes += len(payload)
 	if p.bytes >= flushBytes {
 		return tr.flushTo(fromRank, toRank)
@@ -670,6 +680,8 @@ func (tr *MeshTransport) Send(fromRank, graph, producer, consumer int, payload [
 // Flush implements exec.Flusher: it writes out every batch rank has
 // pending, one writev per peer with queued payloads. The engine calls
 // it at each timestep boundary on the rank's own goroutine.
+//
+//taskbench:hotpath
 func (tr *MeshTransport) Flush(rank int) error {
 	if tr.noBatch || rank < tr.local.Lo || rank >= tr.local.Hi {
 		return nil
@@ -689,6 +701,8 @@ func (tr *MeshTransport) Flush(rank int) error {
 // writev: batch header, descriptor section, then every payload,
 // borrowed zero-copy from the senders. Called only from rank `from`'s
 // goroutine.
+//
+//taskbench:hotpath
 func (tr *MeshTransport) flushTo(from, to int) error {
 	p := &tr.pend[from][to]
 	if len(p.payloads) == 0 {
@@ -700,8 +714,8 @@ func (tr *MeshTransport) flushTo(from, to int) error {
 	binary.LittleEndian.PutUint32(header[4:8], batchMarker)
 	binary.LittleEndian.PutUint32(header[8:12], uint32(len(p.payloads)))
 	binary.LittleEndian.PutUint32(header[12:16], uint32(len(p.desc)))
-	iov := append(p.iov[:0], header[:], p.desc)
-	iov = append(iov, p.payloads...)
+	iov := append(p.iov[:0], header[:], p.desc) //taskbench:allocok iovec grows to its high-water mark, then reuses
+	iov = append(iov, p.payloads...)            //taskbench:allocok iovec grows to its high-water mark, then reuses
 	// WriteTo consumes the Buffers slice it is invoked on (advancing it
 	// as vectors drain), so keep our own reference to the backing array
 	// for the next flush.
@@ -720,6 +734,8 @@ func (tr *MeshTransport) flushTo(from, to int) error {
 // validation at the consumer. Keeping the protocol flowing after a
 // failure is what turns a killed peer process into a clean job error
 // instead of a hang.
+//
+//taskbench:hotpath
 func (tr *MeshTransport) Recv(graph, producer, consumer int) []byte {
 	select {
 	case payload := <-tr.edge(graph, producer, consumer):

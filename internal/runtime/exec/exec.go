@@ -62,19 +62,26 @@ func Measure(app *core.App, workers int, body func() error) (core.RunStats, erro
 // cheap cancellation check so workers can abandon work early.
 type ErrOnce struct {
 	failed atomic.Bool
-	once   sync.Once
+	mu     sync.Mutex
 	err    error
 }
 
-// Set records err if it is the first failure.
+// Set records err if it is the first failure. Workers call it from the
+// task loop (usually with nil), so the common paths — no error, or a
+// failure already recorded — are a nil check and an atomic load; the
+// sync.Once closure the previous version allocated per call is gone.
 func (e *ErrOnce) Set(err error) {
-	if err == nil {
+	if err == nil || e.failed.Load() {
 		return
 	}
-	e.once.Do(func() {
+	e.mu.Lock()
+	if e.err == nil {
 		e.err = err
+		// The store orders after the write of e.err, so Err's unlocked
+		// read is safe once it observes failed.
 		e.failed.Store(true)
-	})
+	}
+	e.mu.Unlock()
 }
 
 // Failed reports whether any error has been recorded.

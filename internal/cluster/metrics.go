@@ -95,29 +95,33 @@ func newCoordMetrics(c *Coordinator) *coordMetrics {
 		queueWait:  reg.Histogram(MetricQueueWait, "Time from admission to a scheduler slot claiming the job.", nil),
 	}
 
-	lockedGauge := func(name, help string, fn func() float64) {
-		reg.GaugeFunc(name, help, func() float64 {
+	// locked wraps a reader so the gauge samples under c.mu. The
+	// registration names stay literal constants at each GaugeFunc call:
+	// metricsonce needs the name at the registration site to vet
+	// duplicates statically.
+	locked := func(fn func() float64) func() float64 {
+		return func() float64 {
 			c.mu.Lock()
 			defer c.mu.Unlock()
 			return fn()
-		})
+		}
 	}
-	lockedGauge(MetricQueueDepth, "Jobs queued awaiting a scheduler slot.",
-		func() float64 { return float64(len(c.queue)) })
-	lockedGauge(MetricQueueCapacity, "Job queue capacity.",
-		func() float64 { return float64(c.opts.QueueDepth) })
-	lockedGauge(MetricJobsInFlight, "Jobs claimed by scheduler slots.",
-		func() float64 { return float64(c.inFlight) })
-	lockedGauge(MetricJobsRunning, "Jobs currently executing on the fleet.",
-		func() float64 { return float64(c.running) })
-	lockedGauge(MetricWorkersLive, "Registered live workers.",
-		func() float64 { return float64(len(c.workers)) })
-	lockedGauge(MetricWorkersDraining, "Fleet members mid-drain.",
-		func() float64 { return float64(c.drainingLocked()) })
-	lockedGauge(MetricSchedulerSlots, "Scheduler concurrency slots.",
-		func() float64 { return float64(c.opts.Concurrency) })
-	lockedGauge(MetricConfigsPrepared, "Shapes currently holding a prepared configuration.",
-		func() float64 {
+	reg.GaugeFunc(MetricQueueDepth, "Jobs queued awaiting a scheduler slot.",
+		locked(func() float64 { return float64(len(c.queue)) }))
+	reg.GaugeFunc(MetricQueueCapacity, "Job queue capacity.",
+		locked(func() float64 { return float64(c.opts.QueueDepth) }))
+	reg.GaugeFunc(MetricJobsInFlight, "Jobs claimed by scheduler slots.",
+		locked(func() float64 { return float64(c.inFlight) }))
+	reg.GaugeFunc(MetricJobsRunning, "Jobs currently executing on the fleet.",
+		locked(func() float64 { return float64(c.running) }))
+	reg.GaugeFunc(MetricWorkersLive, "Registered live workers.",
+		locked(func() float64 { return float64(len(c.workers)) }))
+	reg.GaugeFunc(MetricWorkersDraining, "Fleet members mid-drain.",
+		locked(func() float64 { return float64(c.drainingLocked()) }))
+	reg.GaugeFunc(MetricSchedulerSlots, "Scheduler concurrency slots.",
+		locked(func() float64 { return float64(c.opts.Concurrency) }))
+	reg.GaugeFunc(MetricConfigsPrepared, "Shapes currently holding a prepared configuration.",
+		locked(func() float64 {
 			n := 0
 			for _, e := range c.configs {
 				if e.cfg != nil {
@@ -125,7 +129,7 @@ func newCoordMetrics(c *Coordinator) *coordMetrics {
 				}
 			}
 			return float64(n)
-		})
+		}))
 	reg.GaugeFunc(MetricHeartbeatAge, "Age of the stalest live worker's last heartbeat.",
 		func() float64 {
 			return time.Duration(c.maxHeartbeatAgeNanos(time.Now())).Seconds()

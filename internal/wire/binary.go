@@ -106,8 +106,7 @@ const maxFrameHeader = 1 + binary.MaxVarintLen64 // magic + bodyLen
 // AppendMessageBinary appends one complete binary frame (magic, length
 // prefix, body) for m to dst and returns the extended slice.
 func AppendMessageBinary(dst []byte, m Message) ([]byte, error) {
-	code, ok := msgCodes[m.Type]
-	if !ok {
+	if _, ok := msgCodes[m.Type]; !ok {
 		return dst, fmt.Errorf("wire: message type %q has no binary code", m.Type)
 	}
 	start := len(dst)
@@ -117,7 +116,7 @@ func AppendMessageBinary(dst []byte, m Message) ([]byte, error) {
 	for i := 0; i < maxFrameHeader; i++ {
 		dst = append(dst, 0)
 	}
-	dst = appendMessageBody(dst, code, m)
+	dst = appendMessageBody(dst, m)
 	body := len(dst) - start - maxFrameHeader
 	hdrLen := 1 + uvarintLen(uint64(body))
 	hdrStart := start + maxFrameHeader - hdrLen
@@ -237,9 +236,11 @@ func readJSONLine(br *bufio.Reader) (Message, error) {
 
 // --- body encoding --------------------------------------------------
 
-func appendMessageBody(b []byte, code byte, m Message) []byte {
+// appendMessageBody serializes every Message field; Type travels as
+// its binary code (callers have already checked the table has one).
+func appendMessageBody(b []byte, m Message) []byte {
 	b = binary.AppendUvarint(b, uint64(m.V))
-	b = append(b, code)
+	b = append(b, msgCodes[m.Type])
 	b = appendString(b, m.Proto)
 	b = appendString(b, m.Name)
 	b = binary.AppendVarint(b, m.Worker)

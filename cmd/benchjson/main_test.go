@@ -163,6 +163,66 @@ func TestGateTripsOnAllocIncrease(t *testing.T) {
 	}
 }
 
+// TestGateDisjointReports pins the gate to the intersection of the two
+// reports: with fully disjoint benchmark sets — a baseline from before a
+// wholesale benchmark rename, say — there is nothing to compare, so the
+// diff renders only gone/new rows and the gate never trips, at any
+// threshold.
+func TestGateDisjointReports(t *testing.T) {
+	dir := t.TempDir()
+	f := func(v float64) *float64 { return &v }
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkOldOnlyFast": {NsPerOp: 10, AllocsPerOp: f(0)},
+		"BenchmarkOldOnlySlow": {NsPerOp: 9999, AllocsPerOp: f(50)},
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkNewOnlyFast": {NsPerOp: 10, AllocsPerOp: f(0)},
+		"BenchmarkNewOnlySlow": {NsPerOp: 9999, AllocsPerOp: f(50)},
+	}})
+
+	for _, gatePct := range []float64{-1, 0, 10} {
+		var out strings.Builder
+		if err := diff(&out, oldPath, newPath, gatePct, nil); err != nil {
+			t.Errorf("gate %v tripped on disjoint reports: %v\n%s", gatePct, err, out.String())
+		}
+		if strings.Contains(out.String(), "GATE:") {
+			t.Errorf("gate %v emitted a GATE line with nothing comparable:\n%s", gatePct, out.String())
+		}
+		for _, name := range []string{"BenchmarkOldOnlyFast", "BenchmarkNewOnlyFast"} {
+			if !strings.Contains(out.String(), name) {
+				t.Errorf("diff table dropped %s:\n%s", name, out.String())
+			}
+		}
+	}
+}
+
+// TestGateSubsetBaseline pins the asymmetric case: benchmarks present
+// only in the new report ride along un-gated, while the shared subset is
+// still compared — adding benchmarks must not require refreshing the
+// baseline, but cannot mask a real regression either.
+func TestGateSubsetBaseline(t *testing.T) {
+	dir := t.TempDir()
+	f := func(v float64) *float64 { return &v }
+	oldPath := writeReport(t, dir, "old.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkShared": {NsPerOp: 100, AllocsPerOp: f(0)},
+	}})
+	newPath := writeReport(t, dir, "new.json", Report{Benchmarks: map[string]Result{
+		"BenchmarkShared": {NsPerOp: 150, AllocsPerOp: f(0)}, // +50%: trips
+		"BenchmarkAdded":  {NsPerOp: 5000, AllocsPerOp: f(99)},
+	}})
+
+	var out strings.Builder
+	if err := diff(&out, oldPath, newPath, 10, nil); err == nil {
+		t.Fatalf("gate passed a +50%% regression on the shared subset:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "GATE: BenchmarkShared") {
+		t.Errorf("gate output does not name the shared offender:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "GATE: BenchmarkAdded") {
+		t.Errorf("gate tripped on a benchmark with no baseline:\n%s", out.String())
+	}
+}
+
 // TestGateMatchRestrictsScope pins -match: a regression outside the
 // matched hot set is invisible to both the table and the gate.
 func TestGateMatchRestrictsScope(t *testing.T) {

@@ -1,7 +1,6 @@
 package taskbench
 
 import (
-	"fmt"
 	"testing"
 	"time"
 
@@ -11,6 +10,15 @@ import (
 	_ "taskbench/internal/runtime/all"
 )
 
+// TestValidationOverheadScan measures the input-validation overhead
+// (paper §2: must stay under ~3%) across kernel granularities. It is a
+// measurement scan, not an assertion: run it directly to read the
+// numbers, e.g.
+//
+//	go test -run TestValidationOverheadScan -v .
+//
+// The per-granularity lines go through t.Logf, so they are visible with
+// -v (or on failure) and silent in the ordinary test stream.
 func TestValidationOverheadScan(t *testing.T) {
 	if testing.Short() {
 		t.Skip("measurement scan")
@@ -36,6 +44,6 @@ func TestValidationOverheadScan(t *testing.T) {
 				}
 			}
 		}
-		fmt.Printf("iters=%5d  on=%v off=%v overhead=%.1f%%\n", iters, on/10, off/10, 100*(float64(on)/float64(off)-1))
+		t.Logf("iters=%5d  on=%v off=%v overhead=%.1f%%", iters, on/10, off/10, 100*(float64(on)/float64(off)-1))
 	}
 }

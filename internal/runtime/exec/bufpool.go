@@ -13,10 +13,9 @@ import (
 // set the reference count to the consumer count; each consumer
 // releases once; the buffer then recycles through the pool.
 type Buf struct {
-	Data  []byte
-	refs  atomic.Int32
-	pool  *BufPool
-	trace []int32
+	Data []byte
+	refs atomic.Int32
+	pool *BufPool
 }
 
 // Release drops one reference, recycling the buffer when it reaches
@@ -51,7 +50,6 @@ func NewBufPool(size int) *BufPool {
 //taskbench:hotpath
 func (p *BufPool) Get(refs int) *Buf {
 	b := p.pool.Get().(*Buf)
-	b.trace = append(b.trace, int32(refs))
 	b.refs.Store(int32(refs))
 	return b
 }
